@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one paper table or figure: it sweeps the paper's
+parameters (scaled down by default — the paper averages megabits per SNR
+point), prints the same rows/series the paper reports, writes CSV to
+``bench_results/``, and asserts the qualitative shape (who wins, where
+curves saturate or cross).
+
+Set ``REPRO_SCALE=full`` for denser SNR grids and more messages per point;
+the default ``quick`` profile keeps the whole suite in tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.channels import AWGNChannel
+from repro.utils.results import ExperimentResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+FULL = os.environ.get("REPRO_SCALE", "quick") == "full"
+
+
+def scale(quick_value: int, full_value: int) -> int:
+    """Pick a trial count / grid density based on the scale profile."""
+    return full_value if FULL else quick_value
+
+
+def snr_grid(lo: float, hi: float, quick_step: float, full_step: float = 1.0):
+    """SNR sweep grid; the paper steps 1 dB, quick profiles step coarser."""
+    step = full_step if FULL else quick_step
+    return list(np.arange(lo, hi + 1e-9, step))
+
+
+def awgn_factory(snr_db: float):
+    """Channel factory for one AWGN operating point."""
+    return lambda rng: AWGNChannel(snr_db, rng=rng)
+
+
+def finish(result: ExperimentResult) -> None:
+    """Print and persist an experiment's series."""
+    print()
+    print(result.render())
+    path = result.write_csv(RESULTS_DIR)
+    print(f"[csv] {path}")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

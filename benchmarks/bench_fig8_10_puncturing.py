@@ -1,0 +1,64 @@
+"""E10 — Figure 8-10: puncturing schedules.
+
+Finer puncturing enables more frequent decode attempts and therefore less
+wasted channel time; gains concentrate at high SNR where a handful of
+symbols is a large fraction of the total (paper: 8-way on top, "no
+puncturing" at the bottom).
+"""
+
+from repro.channels import gap_to_capacity_db
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.utils.results import ExperimentResult
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid
+
+SCHEDULES = ("none", "2-way", "4-way", "8-way")
+
+
+def _run():
+    snrs = snr_grid(5, 30, quick_step=5.0)
+    n_msgs = scale(3, 10)
+    dec = DecoderParams(B=256, max_passes=40)
+    curves = {}
+    for sched in SCHEDULES:
+        params = SpinalParams(puncturing=sched)
+        curves[sched] = {
+            snr: measure_scheme(
+                SpinalScheme(params, dec, 1024), awgn_factory(snr), snr,
+                n_msgs, seed=hash(sched) % 1000 + int(snr)).rate
+            for snr in snrs
+        }
+    return snrs, curves
+
+
+def test_bench_fig8_10(benchmark):
+    snrs, curves = run_once(benchmark, _run)
+
+    result = ExperimentResult(
+        "fig8_10_puncturing", "Puncturing schedules (Figure 8-10)",
+        "snr_db", "gap_to_capacity_db")
+    for sched in SCHEDULES:
+        s = result.new_series(f"{sched} puncturing")
+        for snr in snrs:
+            if curves[sched][snr] > 0:
+                s.add(snr, gap_to_capacity_db(curves[sched][snr], snr))
+    finish(result)
+
+    # at high SNR, finer puncturing wins clearly
+    top = max(snrs)
+    assert curves["8-way"][top] > curves["none"][top]
+    assert curves["4-way"][top] > curves["none"][top]
+    # at low SNR the gain shrinks (few symbols vs many needed)
+    low = min(snrs)
+    ratio_low = curves["8-way"][low] / max(curves["none"][low], 1e-9)
+    ratio_high = curves["8-way"][top] / max(curves["none"][top], 1e-9)
+    assert ratio_high > ratio_low * 0.95
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_fig8_10(_Bench())

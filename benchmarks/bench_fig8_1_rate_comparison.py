@@ -1,0 +1,122 @@
+"""E1 — Figure 8-1 + the introduction's summary table.
+
+Rate vs SNR for spinal codes (n=256 and n=1024, k=4, B=256), Raptor over
+dense QAM, Strider and Strider+, and the LDPC best envelope; plus the
+gap-to-capacity panel and the fraction-of-capacity aggregation by SNR
+band (the intro's "21% over Raptor / 40% over Strider" table).
+
+Scaling vs the paper: coarser SNR grid, fewer messages per point, Raptor
+k=2048 (paper 9500), Strider G=12 with ~160-bit layers (paper G=33 with
+1530-bit layers).  Orderings and curve shapes are what this bench asserts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import awgn_capacity, gap_to_capacity_db
+from repro.core.params import DecoderParams, SpinalParams
+from repro.fountain import RaptorScheme
+from repro.ldpc import ldpc_envelope
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.strider import StriderScheme
+from repro.utils.results import ExperimentResult, render_table
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid
+
+
+def _measure_rateless(scheme, snrs, n_messages, seed):
+    out = {}
+    for i, snr in enumerate(snrs):
+        m = measure_scheme(scheme, awgn_factory(snr), snr, n_messages,
+                           seed=seed + 101 * i)
+        out[snr] = m.rate
+    return out
+
+
+def _run():
+    snrs = snr_grid(-5, 35, quick_step=5.0)
+    n_msgs = scale(3, 10)
+
+    params = SpinalParams()
+    dec = DecoderParams(B=256, max_passes=40)
+    curves = {}
+    curves["spinal n=256"] = _measure_rateless(
+        SpinalScheme(params, dec, 256), snrs, n_msgs, seed=1)
+    curves["spinal n=1024"] = _measure_rateless(
+        SpinalScheme(params, dec, 1024), snrs, scale(2, 6), seed=2)
+    curves["raptor/qam-256"] = _measure_rateless(
+        RaptorScheme(k=2048), snrs, scale(2, 6), seed=3)
+    curves["strider"] = _measure_rateless(
+        StriderScheme(n_bits=1920, n_layers=12, max_passes=30),
+        snrs, scale(2, 5), seed=4)
+    curves["strider+"] = _measure_rateless(
+        StriderScheme(n_bits=1920, n_layers=12, subpasses_per_pass=4,
+                      max_passes=30),
+        snrs, scale(1, 5), seed=5)
+    curves["ldpc envelope"] = {
+        snr: ldpc_envelope(snr, n_blocks=scale(4, 20),
+                           iterations=scale(25, 40), seed=6)[0]
+        for snr in snrs
+    }
+    return snrs, curves
+
+
+def test_bench_fig8_1(benchmark):
+    snrs, curves = run_once(benchmark, _run)
+
+    # --- panel 1: rate vs SNR ---
+    rates = ExperimentResult("fig8_1_rates", "Rate comparison (Figure 8-1)",
+                             "snr_db", "rate_bits_per_symbol")
+    shannon = rates.new_series("shannon bound")
+    for snr in snrs:
+        shannon.add(snr, awgn_capacity(snr))
+    for label, curve in curves.items():
+        s = rates.new_series(label)
+        for snr in snrs:
+            s.add(snr, curve[snr])
+    finish(rates)
+
+    # --- panel 3: gap to capacity ---
+    gaps = ExperimentResult("fig8_1_gaps", "Gap to capacity (Figure 8-1)",
+                            "snr_db", "gap_db")
+    for label, curve in curves.items():
+        s = gaps.new_series(label)
+        for snr in snrs:
+            if curve[snr] > 0:
+                s.add(snr, gap_to_capacity_db(curve[snr], snr))
+    finish(gaps)
+
+    # --- panel 2 / intro table: fraction of capacity by SNR band ---
+    bands = {"< 10dB": lambda s: s < 10,
+             "10-20dB": lambda s: 10 <= s <= 20,
+             "> 20dB": lambda s: s > 20}
+    rows = []
+    fractions = {}
+    for label, curve in curves.items():
+        fractions[label] = {}
+        row = [label]
+        for band, pred in bands.items():
+            pts = [curve[s] / awgn_capacity(s) for s in snrs if pred(s)]
+            frac = float(np.mean(pts)) if pts else float("nan")
+            fractions[label][band] = frac
+            row.append(f"{frac:.2f}")
+        rows.append(row)
+    print()
+    print(render_table(["code", *bands.keys()], rows))
+
+    spinal = fractions["spinal n=256"]
+    for band in bands:
+        # headline result: spinal beats raptor, strider, and the envelope
+        assert spinal[band] > fractions["raptor/qam-256"][band]
+        assert spinal[band] > fractions["strider"][band]
+        assert spinal[band] > fractions["ldpc envelope"][band]
+    # spinal stays within a sane distance of capacity everywhere
+    assert all(f > 0.55 for f in spinal.values())
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_fig8_1(_Bench())

@@ -1,0 +1,62 @@
+"""E7 — Figure 8-7: beam width vs pruning depth at constant work.
+
+Decoders with k=3, n=256 and (B, d) in {(512,1), (64,2), (8,3), (1,4)} all
+explore B 2^(kd) = 4096 nodes per step, but deeper pruning selects whole
+subtrees, trading throughput for much cheaper selection (hardware
+motivation).  Paper: higher-depth decoders achieve lower throughput;
+B=64, d=2 stays close to B=512, d=1.
+"""
+
+from repro.channels import gap_to_capacity_db
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.utils.results import ExperimentResult
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid
+
+CONFIGS = ((512, 1), (64, 2), (8, 3), (1, 4))
+N_BITS = 255  # n/k = 85 spine values at k=3
+
+
+def _run():
+    snrs = snr_grid(0, 30, quick_step=10.0, full_step=5.0)
+    n_msgs = scale(2, 8)
+    params = SpinalParams(k=3)
+    curves = {}
+    for b, d in CONFIGS:
+        dec = DecoderParams(B=b, d=d, max_passes=40)
+        curves[(b, d)] = {
+            snr: measure_scheme(
+                SpinalScheme(params, dec, N_BITS), awgn_factory(snr), snr,
+                n_msgs, seed=b + d + int(snr)).rate
+            for snr in snrs
+        }
+    return snrs, curves
+
+
+def test_bench_fig8_7(benchmark):
+    snrs, curves = run_once(benchmark, _run)
+
+    result = ExperimentResult(
+        "fig8_7_bubble_depth", "Bubble depth trade-off (Figure 8-7)",
+        "snr_db", "gap_to_capacity_db")
+    for (b, d), curve in curves.items():
+        s = result.new_series(f"B={b}, d={d}")
+        for snr in snrs:
+            if curve[snr] > 0:
+                s.add(snr, gap_to_capacity_db(curve[snr], snr))
+    finish(result)
+
+    # average rates: d=1 should be the best, d=4 the worst
+    avg = {cfg: sum(c.values()) / len(c) for cfg, c in curves.items()}
+    assert avg[(512, 1)] >= avg[(1, 4)]
+    # B=64, d=2 stays within reach of the full-width decoder (paper's point)
+    assert avg[(64, 2)] > 0.7 * avg[(512, 1)]
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_fig8_7(_Bench())

@@ -1,0 +1,65 @@
+"""E8 — Figure 8-8: output symbol density (choosing c).
+
+Small c caps the achievable rate (too few bits per symbol); the paper
+concludes c = 6 is right for the -5..35 dB range.
+"""
+
+from repro.channels import awgn_capacity
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.utils.results import ExperimentResult
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid
+
+CS = (1, 2, 3, 4, 5, 6)
+
+
+def _run():
+    snrs = snr_grid(0, 35, quick_step=7.0, full_step=5.0)
+    n_msgs = scale(2, 8)
+    dec = DecoderParams(B=256, max_passes=40)
+    curves = {}
+    for c in CS:
+        params = SpinalParams(c=c)
+        curves[c] = {
+            snr: measure_scheme(
+                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
+                n_msgs, seed=c * 100 + int(snr)).rate
+            for snr in snrs
+        }
+    return snrs, curves
+
+
+def test_bench_fig8_8(benchmark):
+    snrs, curves = run_once(benchmark, _run)
+
+    result = ExperimentResult(
+        "fig8_8_density", "Output symbol density c (Figure 8-8)",
+        "snr_db", "rate_bits_per_symbol")
+    shannon = result.new_series("shannon bound")
+    for snr in snrs:
+        shannon.add(snr, awgn_capacity(snr))
+    for c in CS:
+        s = result.new_series(f"c={c}")
+        for snr in snrs:
+            s.add(snr, curves[c][snr])
+    finish(result)
+
+    top = max(snrs)
+    # at high SNR, larger c wins decisively (small c caps the rate)
+    assert curves[6][top] > curves[2][top] > curves[1][top]
+    # at low SNR the choice barely matters
+    low = min(snrs)
+    assert abs(curves[6][low] - curves[3][low]) < 0.5
+    # c=6 is never much worse than the best c at any SNR
+    for snr in snrs:
+        best = max(curves[c][snr] for c in CS)
+        assert curves[6][snr] > 0.8 * best
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_fig8_8(_Bench())

@@ -1,0 +1,58 @@
+"""E9 — Figure 8-9: number of tail symbols.
+
+Tail symbols sharpen path costs at the end of the message; the paper finds
+two per pass is the sweet spot, with more giving negative returns (channel
+time spent without changing decisions).
+"""
+
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.utils.results import ExperimentResult
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid
+
+TAILS = (1, 2, 3, 4, 5)
+
+
+def _run():
+    snrs = snr_grid(5, 25, quick_step=10.0, full_step=5.0)
+    n_msgs = scale(3, 10)
+    dec = DecoderParams(B=256, max_passes=40)
+    curves = {}
+    for tail in TAILS:
+        params = SpinalParams(tail_symbols=tail)
+        curves[tail] = {
+            snr: measure_scheme(
+                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
+                n_msgs, seed=tail * 19 + int(snr)).rate
+            for snr in snrs
+        }
+    return snrs, curves
+
+
+def test_bench_fig8_9(benchmark):
+    snrs, curves = run_once(benchmark, _run)
+
+    result = ExperimentResult(
+        "fig8_9_tail_symbols", "Tail symbol count (Figure 8-9)",
+        "snr_db", "rate_bits_per_symbol")
+    for tail in TAILS:
+        s = result.new_series(f"{tail} tail symbols")
+        for snr in snrs:
+            s.add(snr, curves[tail][snr])
+    finish(result)
+
+    avg = {t: sum(c.values()) / len(c) for t, c in curves.items()}
+    # 2 tail symbols should beat 5 (pure overhead past the sweet spot)
+    assert avg[2] > avg[5]
+    # and be no worse than 1 within tolerance (they're close; 2 wins by
+    # improving end-of-message discrimination)
+    assert avg[2] > avg[1] * 0.97
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_fig8_9(_Bench())

@@ -1,0 +1,61 @@
+"""E13 — Table 8.1: OFDM PAPR for sparse vs dense constellations.
+
+Mean and 99.99th-percentile PAPR of 802.11a/g OFDM waveforms carrying
+QAM-4, QAM-64, QAM-2^20 (dense uniform) and the truncated Gaussian spinal
+map (beta=2).  Paper's point: OFDM obscures constellation density — all
+rows land at ~7.3 dB mean / ~11.4 dB tail (5M trials there; scaled here).
+"""
+
+from repro.ofdm import papr_experiment
+from repro.utils.results import ExperimentResult, render_table
+
+from _common import finish, run_once, scale
+
+ROWS = (
+    ("QAM-4", "qam-4"),
+    ("QAM-64", "qam-64"),
+    ("QAM-2^20", "qam-2^20"),
+    ("Trunc. Gaussian, beta=2", "gaussian"),
+)
+
+
+def _run():
+    n_symbols = scale(20_000, 400_000)
+    return {
+        label: papr_experiment(name, n_ofdm_symbols=n_symbols, seed=8)
+        for label, name in ROWS
+    }
+
+
+def test_bench_table8_1(benchmark):
+    table = run_once(benchmark, _run)
+
+    result = ExperimentResult("table8_1_papr", "OFDM PAPR (Table 8.1)",
+                              "row", "papr_db")
+    mean_series = result.new_series("mean")
+    tail_series = result.new_series("p99.99")
+    rows = []
+    for i, (label, _) in enumerate(ROWS):
+        mean, tail = table[label]
+        mean_series.add(i, mean)
+        tail_series.add(i, tail)
+        rows.append([label, f"{mean:.2f} dB", f"{tail:.2f} dB"])
+    finish(result)
+    print(render_table(["Constellation", "Mean PAPR", "99.99% below"], rows))
+
+    means = [table[label][0] for label, _ in ROWS]
+    tails = [table[label][1] for label, _ in ROWS]
+    # all means in the paper's ~7.3 dB neighbourhood
+    assert all(6.8 < m < 8.0 for m in means)
+    # density has negligible effect (paper: 7.29-7.34 dB spread)
+    assert max(means) - min(means) < 0.3
+    # tails near the paper's ~11.4 dB (looser: fewer trials resolve p99.99)
+    assert all(10.0 < t < 13.0 for t in tails)
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_table8_1(_Bench())

@@ -1,0 +1,86 @@
+"""Rate adaptation without bit-rate selection: a mobile link simulation.
+
+Run:  python examples/adaptive_link.py
+
+The paper's motivating scenario (§1): channel conditions vary over time
+(a walk past obstacles modelled as an SNR trajectory), and the rateless
+code adapts *implicitly* — each frame consumes exactly as many symbols as
+the instantaneous channel requires, with no SNR probing, no MCS tables,
+and no feedback beyond per-block ACKs.  A fixed-rate system must pick a
+conservative rate in advance; we show what that costs.
+
+Uses the §6 link layer: datagrams split into CRC-protected code blocks,
+each spinal-encoded independently.
+"""
+
+import numpy as np
+
+from repro import AWGNChannel, DecoderParams, FrameDecoder, FrameEncoder, SpinalParams
+from repro.channels.capacity import awgn_capacity
+
+
+def snr_trajectory(n_frames: int) -> np.ndarray:
+    """A walk from good to bad coverage and back (dB)."""
+    t = np.linspace(0, 2 * np.pi, n_frames)
+    return 14.0 + 10.0 * np.cos(t) + 2.0 * np.sin(3.1 * t)
+
+
+def send_frame(datagram: bytes, snr_db: float, seed: int,
+               params: SpinalParams, dec: DecoderParams) -> tuple[int, bool]:
+    """Transmit one datagram ratelessly; returns (symbols used, ok)."""
+    sender = FrameEncoder(params, max_block_bits=512)
+    frame = sender.frame(datagram)
+    encoders = sender.encoders(frame)
+    receiver = FrameDecoder(params, dec, frame.sequence, len(datagram),
+                            max_block_bits=512)
+    channel = AWGNChannel(snr_db, rng=seed)
+    symbols = 0
+    for subpass in range(dec.max_passes * 8):
+        for b, enc in enumerate(encoders):
+            if receiver.ack_bitmap[b]:
+                continue
+            block = enc.generate(subpass)
+            out = channel.transmit(block.values)
+            receiver.receive_block_symbols(b, block, out.values)
+            symbols += len(block)
+        receiver.try_decode_all()
+        if receiver.complete:
+            assert receiver.reassemble() == datagram
+            return symbols, True
+    return symbols, False
+
+
+def main() -> None:
+    params = SpinalParams()
+    dec = DecoderParams(B=64, max_passes=30)
+    payload = bytes(range(64))  # 64-byte datagram per frame
+
+    snrs = snr_trajectory(12)
+    total_bits = 0
+    total_symbols = 0
+    print(f"{'frame':>5} {'SNR dB':>7} {'capacity':>9} "
+          f"{'symbols':>8} {'rate':>6}")
+    for i, snr in enumerate(snrs):
+        symbols, ok = send_frame(payload, snr, seed=100 + i, params=params,
+                                 dec=dec)
+        bits = len(payload) * 8 if ok else 0
+        total_bits += bits
+        total_symbols += symbols
+        rate = bits / symbols if symbols else 0.0
+        print(f"{i:>5} {snr:>7.1f} {awgn_capacity(snr):>9.2f} "
+              f"{symbols:>8} {rate:>6.2f}")
+
+    adaptive = total_bits / total_symbols
+    print(f"\nrateless link throughput : {adaptive:.2f} bits/symbol")
+
+    # A fixed-rate design must survive the trajectory's worst SNR; the
+    # conservative choice is the capacity at the minimum (~4 dB).
+    worst = float(snrs.min())
+    fixed = awgn_capacity(worst) * 0.8  # a good rated code at min SNR
+    print(f"fixed-rate (worst-case)  : {fixed:.2f} bits/symbol")
+    print(f"rateless advantage       : {adaptive / fixed:.2f}x "
+          "(no probing, no MCS tables)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Spinal codes over a bit-flip channel (BSC mode, §3.3).
+
+Run:  python examples/bsc_wired_link.py
+
+The same construction works on hard-decision channels: c = 1, the sender
+transmits RNG output bits directly, and the bubble decoder swaps squared
+distance for Hamming distance.  This example sweeps flip probabilities and
+plots achieved rate against the BSC capacity 1 - H(p) — the setting of the
+paper's §4.6 capacity claim.
+"""
+
+from repro import BSCChannel, DecoderParams, bsc_capacity
+from repro.core.params import SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+
+
+def main() -> None:
+    params = SpinalParams.bsc()  # k=4, c=1, bit mapping
+    dec = DecoderParams(B=256, max_passes=64)
+    scheme = SpinalScheme(params, dec, n_bits=256)
+
+    print(f"{'p(flip)':>8} {'capacity':>9} {'rate':>7} {'efficiency':>11}")
+    for p in (0.01, 0.03, 0.05, 0.1, 0.2):
+        m = measure_scheme(
+            scheme, lambda rng, pp=p: BSCChannel(pp, rng=rng),
+            snr_db=0.0, n_messages=3, seed=int(p * 1000),
+        )
+        cap = bsc_capacity(p)
+        eff = m.rate / cap if cap else 0.0
+        print(f"{p:>8.2f} {cap:>9.3f} {m.rate:>7.3f} {eff:>10.0%}")
+
+    print("\nNote: rate never exceeds 1 - H(p); the fraction achieved "
+          "grows with B (the decoder's compute budget), per §7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Thin shim so legacy editable installs work in offline environments
+that lack the `wheel` package (PEP 517 builds need bdist_wheel).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Channel models and capacity metrics used throughout the evaluation."""
+
+from repro.channels.base import Channel, ChannelOutput
+from repro.channels.awgn import AWGNChannel
+from repro.channels.bsc import BSCChannel
+from repro.channels.fading import RayleighBlockFadingChannel
+from repro.channels.capacity import (
+    awgn_capacity,
+    bsc_capacity,
+    fraction_of_capacity,
+    gap_to_capacity_db,
+    rayleigh_capacity,
+    snr_db_for_rate,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelOutput",
+    "AWGNChannel",
+    "BSCChannel",
+    "RayleighBlockFadingChannel",
+    "awgn_capacity",
+    "bsc_capacity",
+    "rayleigh_capacity",
+    "gap_to_capacity_db",
+    "snr_db_for_rate",
+    "fraction_of_capacity",
+]

@@ -1,0 +1,45 @@
+"""Channel interface shared by the simulation engine.
+
+A channel transforms a block of transmitted symbols into received
+observations.  Channels are stateful where the model demands it (block
+fading keeps its coefficient across call boundaries) and own their noise
+RNG so experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Channel", "ChannelOutput"]
+
+
+@dataclass
+class ChannelOutput:
+    """Received values plus per-symbol channel state information.
+
+    ``csi`` is the complex channel coefficient for each symbol when the
+    model has one (fading); ``None`` for memoryless channels.  Whether the
+    *decoder* is shown the CSI is the experiment's choice (Figures 8-4 vs
+    8-5), not the channel's.
+    """
+
+    values: np.ndarray
+    csi: np.ndarray | None = None
+
+
+class Channel:
+    """Base channel. Subclasses implement :meth:`transmit`."""
+
+    #: True when inputs/outputs live on the I-Q plane.
+    complex_valued = True
+
+    def transmit(self, symbols: np.ndarray) -> ChannelOutput:
+        raise NotImplementedError
+
+    def __call__(self, symbols: np.ndarray) -> ChannelOutput:
+        return self.transmit(symbols)
+
+    def reset(self) -> None:
+        """Clear any cross-block state (default: nothing to clear)."""

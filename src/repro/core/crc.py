@@ -1,0 +1,60 @@
+"""CRC-16 for link-layer code blocks (paper §6).
+
+The sender "computes and inserts a 16-bit CRC at the end of each block".
+We use CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF) — the common
+choice in 802.11-era link layers — table-driven over bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitops import bits_from_int, bits_to_bytes
+
+__all__ = ["crc16", "crc16_bits", "append_crc", "check_crc"]
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ _POLY) if crc & 0x8000 else (crc << 1)
+            crc &= 0xFFFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE of a byte string."""
+    crc = _INIT
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc16_bits(bits: np.ndarray) -> int:
+    """CRC-16 of a bit array (zero-padded to a byte boundary)."""
+    return crc16(bits_to_bytes(np.asarray(bits, dtype=np.uint8)))
+
+
+def append_crc(bits: np.ndarray) -> np.ndarray:
+    """Payload bits followed by their 16 CRC bits (MSB first)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return np.concatenate([bits, bits_from_int(crc16_bits(bits), 16)])
+
+
+def check_crc(bits_with_crc: np.ndarray) -> bool:
+    """Validate a payload produced by :func:`append_crc`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.uint8)
+    if bits_with_crc.size < 16:
+        return False
+    payload = bits_with_crc[:-16]
+    received = bits_with_crc[-16:]
+    return bool(np.array_equal(append_crc(payload)[-16:], received))

@@ -1,0 +1,96 @@
+"""Rateless spinal encoder (paper §3).
+
+Encoding is two layered steps: build the spine (one hash per k message
+bits), then draw as many symbols as the channel requires from the per-spine
+RNGs, in the order given by the puncturing schedule's transmission plan.
+One RNG word supplies both the I and Q coordinate values for a symbol
+(``c`` bits each); in BSC mode one word supplies a single bit.
+
+The encoder is *stateless across subpasses*: symbol slot ``t`` of spine
+``i`` is always ``RNG(s_i, t)``, so any subrange of the infinite stream can
+be (re)generated on demand — exactly the property §7.1 calls out for
+handling lost frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import SpinalParams
+from repro.core.puncturing import transmission_plan
+from repro.core.spine import spine_states
+
+__all__ = ["SymbolBlock", "SpinalEncoder"]
+
+
+@dataclass
+class SymbolBlock:
+    """A contiguous chunk of the rateless symbol stream.
+
+    ``values`` is complex128 for I/Q constellations or uint8 for BSC bits;
+    ``spine_indices``/``slots`` identify which RNG draw produced each entry
+    (the receiver needs them to replay candidate encodings).
+    """
+
+    spine_indices: np.ndarray
+    slots: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return self.values.size
+
+
+class SpinalEncoder:
+    """Encode one message; produce any number of symbols on demand.
+
+    Parameters
+    ----------
+    params: code parameters (shared with the decoder).
+    message_bits: uint8 array of n message bits, n divisible by k.
+    """
+
+    def __init__(self, params: SpinalParams, message_bits: np.ndarray):
+        message_bits = np.asarray(message_bits, dtype=np.uint8)
+        self.params = params
+        self.n_bits = message_bits.size
+        self.n_spine = params.n_spine(self.n_bits)
+        self.message_bits = message_bits
+        self.spine = spine_states(params.hash_fn, params.k, message_bits, params.s0)
+        self._rng = params.make_rng()
+        self._mapping = params.make_mapping()
+        self._schedule = params.make_schedule()
+
+    @property
+    def subpasses_per_pass(self) -> int:
+        return self._schedule.subpasses_per_pass
+
+    def symbols_per_pass(self) -> int:
+        """Channel uses consumed by one full pass (incl. tail symbols)."""
+        return self.n_spine - 1 + self.params.tail_symbols
+
+    def symbols_at(self, spine_indices: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Channel symbols for explicit (spine, slot) pairs.
+
+        Complex I/Q values for AWGN-style mappings, bits (uint8) for BSC.
+        """
+        seeds = self.spine[np.asarray(spine_indices, dtype=np.intp)]
+        slots = np.asarray(slots, dtype=np.uint32)
+        if self.params.is_bsc:
+            return self._rng.bits(seeds, slots)
+        i_vals, q_vals = self._rng.iq_values(seeds, slots)
+        return self._mapping.map(i_vals) + 1j * self._mapping.map(q_vals)
+
+    def generate(self, first_subpass: int, n_subpasses: int = 1) -> SymbolBlock:
+        """Generate the symbols of a range of (global) subpasses."""
+        spine_idx, slots = transmission_plan(
+            self._schedule, self.n_spine, self.params.tail_symbols,
+            first_subpass, n_subpasses,
+        )
+        return SymbolBlock(spine_idx, slots, self.symbols_at(spine_idx, slots))
+
+    def generate_passes(self, n_passes: int) -> SymbolBlock:
+        """Generate ``n_passes`` complete passes starting from the stream head."""
+        w = self._schedule.subpasses_per_pass
+        return self.generate(0, n_passes * w)

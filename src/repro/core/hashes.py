@@ -1,0 +1,162 @@
+"""Hash functions used to build the spine (paper §3.2, §7.1).
+
+The paper requires a pairwise-independent-style hash ``h`` mapping a ν-bit
+state plus k message bits to a new ν-bit state.  Its implementation fixes
+ν = 32 and evaluates three concrete functions (§7.1):
+
+- Jenkins *one-at-a-time* — the one used for all experiments (cheapest);
+- Jenkins *lookup3*;
+- the *Salsa20* core, a cryptographic-strength mixer.
+
+The paper reports no measurable performance difference between them, a claim
+``benchmarks/bench_ablation_hash.py`` re-checks.
+
+All three are implemented here with one unified signature::
+
+    h(state: uint32 ndarray, data: uint32 ndarray) -> uint32 ndarray
+
+where ``data`` carries either the k message bits of an edge (spine
+construction) or a symbol index (RNG use, see :mod:`repro.core.rng`).  The
+implementations are fully vectorised: the bubble decoder hashes beams of
+thousands of candidate states per call, so every operation is an elementwise
+numpy ``uint32`` op with natural mod-2^32 wrap-around.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "one_at_a_time",
+    "lookup3",
+    "salsa20",
+    "get_hash",
+    "available_hashes",
+    "HashFn",
+]
+
+HashFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+_U32 = np.uint32
+_MASK8 = _U32(0xFF)
+
+
+def _as_u32(x: np.ndarray | int) -> np.ndarray:
+    """Coerce to a uint32 ndarray (scalars become 0-d arrays)."""
+    return np.asarray(x, dtype=np.uint32)
+
+
+def one_at_a_time(state: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Jenkins one-at-a-time hash of (state, data), 4+4 little-endian bytes.
+
+    This is the hash used in the paper's software implementation and FPGA
+    prototype: "6 XORs, 15 bit shifts and 10 additions per application".
+    """
+    state = _as_u32(state)
+    data = _as_u32(data)
+    h = np.zeros(np.broadcast(state, data).shape, dtype=np.uint32)
+    for word in (state, data):
+        for shift in (0, 8, 16, 24):
+            h = h + ((word >> _U32(shift)) & _MASK8)
+            h = h + (h << _U32(10))
+            h = h ^ (h >> _U32(6))
+    h = h + (h << _U32(3))
+    h = h ^ (h >> _U32(11))
+    h = h + (h << _U32(15))
+    return h
+
+
+def _rot(x: np.ndarray, k: int) -> np.ndarray:
+    """32-bit left rotation."""
+    return (x << _U32(k)) | (x >> _U32(32 - k))
+
+
+def lookup3(state: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Jenkins lookup3 ``hashword`` applied to the two words (state, data)."""
+    state = _as_u32(state)
+    data = _as_u32(data)
+    init = _U32(0xDEADBEEF + (2 << 2))
+    shape = np.broadcast(state, data).shape
+    a = np.full(shape, init, dtype=np.uint32) + state
+    b = np.full(shape, init, dtype=np.uint32) + data
+    c = np.full(shape, init, dtype=np.uint32)
+    # final(a, b, c)
+    c = c ^ b
+    c = c - _rot(b, 14)
+    a = a ^ c
+    a = a - _rot(c, 11)
+    b = b ^ a
+    b = b - _rot(a, 25)
+    c = c ^ b
+    c = c - _rot(b, 16)
+    a = a ^ c
+    a = a - _rot(c, 4)
+    b = b ^ a
+    b = b - _rot(a, 14)
+    c = c ^ b
+    c = c - _rot(b, 24)
+    return c
+
+
+# Salsa20 "expand 32-byte k" diagonal constants.
+_SALSA_CONST = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+# (a, b, c, d) index quadruples for one double round.
+_SALSA_ROUNDS = (
+    # column round
+    (0, 4, 8, 12), (5, 9, 13, 1), (10, 14, 2, 6), (15, 3, 7, 11),
+    # row round
+    (0, 1, 2, 3), (5, 6, 7, 4), (10, 11, 8, 9), (15, 12, 13, 14),
+)
+
+
+def salsa20(state: np.ndarray, data: np.ndarray, rounds: int = 20) -> np.ndarray:
+    """Salsa20 core as a (state, data) -> word mixer.
+
+    The 16-word input block holds the Salsa20 constants on the diagonal, the
+    spine state in word 1 and the data word in word 2 (remaining words zero);
+    the output is word 0 of the usual feed-forward sum.  This matches the
+    paper's use of Salsa20 purely as a strong mixing function.
+    """
+    state = _as_u32(state)
+    data = _as_u32(data)
+    shape = np.broadcast(state, data).shape
+    x = [np.zeros(shape, dtype=np.uint32) for _ in range(16)]
+    for pos, const in zip((0, 5, 10, 15), _SALSA_CONST):
+        x[pos] = np.full(shape, const, dtype=np.uint32)
+    x[1] = x[1] + state
+    x[2] = x[2] + data
+    orig0 = x[0].copy()
+    orig1 = x[1].copy()
+    for _ in range(rounds // 2):
+        for a, b, c, d in _SALSA_ROUNDS:
+            x[b] = x[b] ^ _rot(x[a] + x[d], 7)
+            x[c] = x[c] ^ _rot(x[b] + x[a], 9)
+            x[d] = x[d] ^ _rot(x[c] + x[b], 13)
+            x[a] = x[a] ^ _rot(x[d] + x[c], 18)
+    # Feed-forward on the two words we consume keeps this non-invertible.
+    return (x[0] + orig0) ^ (x[1] + orig1)
+
+
+_REGISTRY: dict[str, HashFn] = {
+    "one_at_a_time": one_at_a_time,
+    "lookup3": lookup3,
+    "salsa20": salsa20,
+}
+
+
+def available_hashes() -> tuple[str, ...]:
+    """Names accepted by :func:`get_hash`."""
+    return tuple(_REGISTRY)
+
+
+def get_hash(name: str) -> HashFn:
+    """Look up a hash function by name (see :func:`available_hashes`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hash {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,129 @@
+"""Parameter bundles for the spinal code (paper §7.1, §8.4).
+
+Two dataclasses separate what the *code* is (shared by encoder and decoder,
+fixed "perhaps at protocol standardisation time", §7) from what each
+*decoder* chooses independently based on its compute budget (§7: "each
+receiver can pick a B and d independently").
+
+Paper defaults: ``k=4, c=6, B=256, d=1``, one-at-a-time hash, ν=32,
+two tail symbols, 8-way puncturing.  The hardware profile of Appendix B is
+``n=192, k=4, c=7, d=1, B=4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.constellation import ConstellationMapping, make_mapping
+from repro.core.hashes import HashFn, get_hash
+from repro.core.puncturing import PuncturingSchedule, make_schedule
+from repro.core.rng import SpinalRNG
+
+__all__ = ["SpinalParams", "DecoderParams"]
+
+
+@dataclass(frozen=True)
+class SpinalParams:
+    """Code parameters shared by the transmitter and the receiver.
+
+    Attributes
+    ----------
+    k: message bits hashed per spine step (max rate is ``8k`` under the
+       8-way puncturing schedule).
+    c: bits per constellation-map input; symbols draw 2c bits (I and Q).
+    hash_name: spine hash (see :func:`repro.core.hashes.available_hashes`).
+    mapping_name: 'uniform', 'gaussian' (AWGN) or 'bsc'.
+    beta: truncation width for the Gaussian map.
+    power: average complex symbol power P.
+    tail_symbols: symbols sent from the final spine value per pass (§4.4;
+       the paper finds 2 is best, Figure 8-9).
+    puncturing: 'none', '2-way', '4-way' or '8-way' (Figure 5-1).
+    s0: initial spine state, known to both ends (acts as a scrambler seed).
+    """
+
+    k: int = 4
+    c: int = 6
+    hash_name: str = "one_at_a_time"
+    mapping_name: str = "uniform"
+    beta: float = 2.0
+    power: float = 1.0
+    tail_symbols: int = 2
+    puncturing: str = "8-way"
+    s0: int = 0
+
+    def __post_init__(self):
+        if not 1 <= self.k <= 8:
+            raise ValueError(f"k must be in [1, 8], got {self.k}")
+        if self.mapping_name == "bsc" and self.c != 1:
+            raise ValueError("BSC mode requires c = 1")
+        if 2 * self.c > 32 and self.mapping_name != "bsc":
+            raise ValueError("2c must fit in a 32-bit RNG word")
+        if self.tail_symbols < 1:
+            raise ValueError("tail_symbols must be >= 1")
+
+    # -- derived objects (constructed on demand; dataclass stays frozen) ----
+
+    @property
+    def hash_fn(self) -> HashFn:
+        return get_hash(self.hash_name)
+
+    def make_rng(self) -> SpinalRNG:
+        return SpinalRNG(self.hash_fn, self.c)
+
+    def make_mapping(self) -> ConstellationMapping:
+        return make_mapping(self.mapping_name, self.c,
+                            power=self.power, beta=self.beta)
+
+    def make_schedule(self) -> PuncturingSchedule:
+        return make_schedule(self.puncturing)
+
+    @property
+    def is_bsc(self) -> bool:
+        return self.mapping_name == "bsc"
+
+    def n_spine(self, n_bits: int) -> int:
+        """Number of spine values for an n-bit message."""
+        if n_bits % self.k:
+            raise ValueError(f"message length {n_bits} not divisible by k={self.k}")
+        return n_bits // self.k
+
+    def with_(self, **changes) -> "SpinalParams":
+        """Functional update, e.g. ``params.with_(c=7)``."""
+        return replace(self, **changes)
+
+    @classmethod
+    def bsc(cls, k: int = 4, **kw) -> "SpinalParams":
+        """Convenience constructor for BSC operation (c=1, bit mapping)."""
+        return cls(k=k, c=1, mapping_name="bsc", **kw)
+
+    @classmethod
+    def hardware_profile(cls) -> "SpinalParams":
+        """The Appendix B FPGA parameter set (use with n=192, B=4)."""
+        return cls(k=4, c=7)
+
+
+@dataclass(frozen=True)
+class DecoderParams:
+    """Receiver-side bubble decoder knobs (§4.3, §8.4).
+
+    ``B`` is the beam width, ``d`` the subtree pruning depth; complexity per
+    decode attempt is ``O((n/k) * B * L * 2^(k d))`` hashes.  ``max_passes``
+    bounds how long a rateless session keeps requesting symbols before
+    giving up on the message.
+    """
+
+    B: int = 256
+    d: int = 1
+    max_passes: int = 48
+
+    def __post_init__(self):
+        if self.B < 1:
+            raise ValueError("beam width B must be >= 1")
+        if self.d < 1:
+            raise ValueError("depth d must be >= 1")
+        if self.max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+
+    def branch_evaluations_per_bit(self, k: int) -> float:
+        """The compute-budget metric of Figure 8-6: ``B * 2^k / k``."""
+        return self.B * (1 << k) / k

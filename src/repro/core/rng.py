@@ -1,0 +1,61 @@
+"""Symbol RNG seeded by spine values (paper §3.1, §7.1).
+
+Each spine value ``s_i`` seeds a pseudo-random generator whose t-th output is
+``h(s_i, t)`` — the construction the paper's implementation uses ("to get the
+t-th output symbol, the encoder and decoder call h(s_i, t)", §7.1).  This
+index-addressable form lets the decoder generate only the symbols that were
+actually received, which matters under puncturing.
+
+Each 32-bit output word supplies the c-bit values consumed by the
+constellation map: the I value is the low ``c`` bits, the Q value the next
+``c`` bits (so ``2c <= 32`` is required).  For the BSC (c = 1) a single
+output bit is drawn from the low bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashes import HashFn, get_hash
+
+__all__ = ["SpinalRNG"]
+
+
+class SpinalRNG:
+    """Deterministic RNG ``(seed, index) -> c-bit outputs`` shared by both ends.
+
+    Parameters
+    ----------
+    hash_fn:
+        Hash function or registry name (see :mod:`repro.core.hashes`).
+    c:
+        Bits per constellation-map input.  ``2*c`` must fit in the 32-bit
+        output word because one word feeds both I and Q.
+    """
+
+    def __init__(self, hash_fn: HashFn | str, c: int):
+        if isinstance(hash_fn, str):
+            hash_fn = get_hash(hash_fn)
+        if not 1 <= c <= 16:
+            raise ValueError(f"c must be in [1, 16], got {c}")
+        self._hash = hash_fn
+        self.c = c
+        self._mask = np.uint32((1 << c) - 1)
+
+    def words(self, seeds: np.ndarray, index: np.ndarray | int) -> np.ndarray:
+        """Raw 32-bit output words ``h(seed, index)`` (broadcasting)."""
+        return self._hash(
+            np.asarray(seeds, dtype=np.uint32),
+            np.asarray(index, dtype=np.uint32),
+        )
+
+    def iq_values(
+        self, seeds: np.ndarray, index: np.ndarray | int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The two c-bit constellation inputs (I, Q) for symbol ``index``."""
+        w = self.words(seeds, index)
+        return w & self._mask, (w >> np.uint32(self.c)) & self._mask
+
+    def bits(self, seeds: np.ndarray, index: np.ndarray | int) -> np.ndarray:
+        """Single output bits (BSC mode, c = 1)."""
+        return (self.words(seeds, index) & np.uint32(1)).astype(np.uint8)

@@ -1,0 +1,48 @@
+"""Spine construction (paper §3.1, Figure 3-1).
+
+The spine is the sequence of ν-bit states obtained by hashing k-bit message
+chunks sequentially::
+
+    s_i = h(s_{i-1}, m̄_i),     s_0 known to both ends.
+
+Because each state depends on *all* preceding message bits, the code's
+"constraint length" reaches back to the start of the message — the property
+that makes tree decoding work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashes import HashFn
+from repro.utils.bitops import chunk_bits
+
+__all__ = ["spine_states", "expand_states"]
+
+
+def spine_states(
+    hash_fn: HashFn, k: int, message_bits: np.ndarray, s0: int = 0
+) -> np.ndarray:
+    """Compute all n/k spine values for a message (encoder side).
+
+    Returns a ``(n/k,)`` uint32 array; entry i is ``s_{i+1}`` in the paper's
+    numbering (the state *after* absorbing chunk i).
+    """
+    chunks = chunk_bits(np.asarray(message_bits, dtype=np.uint8), k)
+    states = np.empty(chunks.size, dtype=np.uint32)
+    s = np.asarray([s0], dtype=np.uint32)
+    for i, chunk in enumerate(chunks):
+        s = hash_fn(s, np.asarray([chunk], dtype=np.uint32))
+        states[i] = s[0]
+    return states
+
+
+def expand_states(hash_fn: HashFn, k: int, states: np.ndarray) -> np.ndarray:
+    """All 2^k child states of each input state (decoder-side expansion).
+
+    ``states`` has shape ``(...,)``; the result has shape ``(..., 2^k)``
+    where the last axis indexes the k-bit edge value.
+    """
+    states = np.asarray(states, dtype=np.uint32)
+    edges = np.arange(1 << k, dtype=np.uint32)
+    return hash_fn(states[..., None], edges)

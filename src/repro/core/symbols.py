@@ -1,0 +1,98 @@
+"""Receiver-side symbol storage (paper §4.2, §7.1).
+
+"The decoder stores the received symbols, and uses them to rebuild the tree
+in each run" — this container is that store.  Received values are grouped by
+spine position, keeping the slot index of each symbol (so the decoder can
+replay the exact RNG draws) and, for fading channels, the per-symbol channel
+coefficient when the decoder is given fading information (§8.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReceivedSymbols"]
+
+
+class ReceivedSymbols:
+    """Per-spine-position store of (slot, value[, csi]) observations."""
+
+    def __init__(self, n_spine: int, complex_valued: bool = True):
+        self.n_spine = n_spine
+        self.complex_valued = complex_valued
+        self._slots: list[list[int]] = [[] for _ in range(n_spine)]
+        self._values: list[list[complex]] = [[] for _ in range(n_spine)]
+        self._csi: list[list[complex]] = [[] for _ in range(n_spine)]
+        self._has_csi = False
+        self._count = 0
+        self._cache: dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_symbols(self) -> int:
+        return self._count
+
+    @property
+    def has_csi(self) -> bool:
+        return self._has_csi
+
+    def add_block(
+        self,
+        spine_indices: np.ndarray,
+        slots: np.ndarray,
+        values: np.ndarray,
+        csi: np.ndarray | None = None,
+    ) -> None:
+        """Record a received symbol block (one or more subpasses)."""
+        spine_indices = np.asarray(spine_indices)
+        slots = np.asarray(slots)
+        values = np.asarray(values)
+        if not (spine_indices.size == slots.size == values.size):
+            raise ValueError("spine_indices, slots and values must align")
+        if csi is not None:
+            csi = np.asarray(csi)
+            if csi.size != values.size:
+                raise ValueError("csi must align with values")
+            self._has_csi = True
+        elif self._has_csi and values.size:
+            raise ValueError("store already holds CSI; blocks must keep providing it")
+        for j in range(values.size):
+            i = int(spine_indices[j])
+            if not 0 <= i < self.n_spine:
+                raise IndexError(f"spine index {i} out of range")
+            self._slots[i].append(int(slots[j]))
+            self._values[i].append(values[j])
+            if csi is not None:
+                self._csi[i].append(csi[j])
+        self._count += values.size
+        self._cache.clear()
+
+    def for_spine(self, i: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """(slots, values, csi-or-None) arrays for spine position ``i``."""
+        if i in self._cache:
+            return self._cache[i]
+        slots = np.asarray(self._slots[i], dtype=np.uint32)
+        vtype = np.complex128 if self.complex_valued else np.float64
+        values = np.asarray(self._values[i], dtype=vtype)
+        csi = (
+            np.asarray(self._csi[i], dtype=np.complex128)
+            if self._has_csi else None
+        )
+        out = (slots, values, csi)
+        self._cache[i] = out
+        return out
+
+    def max_pass_count(self, tail_symbols: int) -> int:
+        """Upper bound on how many passes any spine position spans.
+
+        Used by the decoder to bound the slot range; slot indices for the
+        final spine position advance ``tail_symbols`` per pass.
+        """
+        best = 0
+        for i in range(self.n_spine):
+            if self._slots[i]:
+                step = tail_symbols if i == self.n_spine - 1 else 1
+                best = max(best, (max(self._slots[i]) // step) + 1)
+        return best

@@ -1,0 +1,68 @@
+"""Output-symbol degree distributions for LT/Raptor codes.
+
+The paper's Raptor baseline uses "the degree distribution in the Raptor
+RFC" (RFC 5053 §5.4.4.2), a fixed table optimised jointly with the
+precode.  The classic soliton distributions (Luby's LT paper) are included
+for completeness and for tests/ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "RFC5053_DEGREES",
+    "sample_rfc5053_degree",
+    "ideal_soliton",
+    "robust_soliton",
+]
+
+#: RFC 5053 degree table: (cumulative threshold out of 2^20, degree).
+#: A uniform v in [0, 2^20) selects the first row with v < threshold.
+RFC5053_DEGREES: tuple[tuple[int, int], ...] = (
+    (10241, 1),
+    (491582, 2),
+    (712794, 3),
+    (831695, 4),
+    (948446, 10),
+    (1032189, 11),
+    (1048576, 40),
+)
+
+_THRESHOLDS = np.array([t for t, _ in RFC5053_DEGREES], dtype=np.int64)
+_DEGREE_VALUES = np.array([d for _, d in RFC5053_DEGREES], dtype=np.int64)
+
+
+def sample_rfc5053_degree(rng: np.random.Generator, size: int = 1) -> np.ndarray:
+    """Draw output degrees from the RFC 5053 table."""
+    v = rng.integers(0, 1 << 20, size=size)
+    idx = np.searchsorted(_THRESHOLDS, v, side="right")
+    return _DEGREE_VALUES[idx]
+
+
+def ideal_soliton(n: int) -> np.ndarray:
+    """Ideal soliton distribution rho(d) over degrees 1..n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    p = np.zeros(n + 1)
+    p[1] = 1.0 / n
+    d = np.arange(2, n + 1)
+    p[2:] = 1.0 / (d * (d - 1))
+    return p[1:]
+
+
+def robust_soliton(n: int, c: float = 0.1, delta: float = 0.5) -> np.ndarray:
+    """Robust soliton distribution mu(d) over degrees 1..n (Luby 2002)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rho = ideal_soliton(n)
+    s = c * np.log(n / delta) * np.sqrt(n)
+    s = max(1.0, s)
+    tau = np.zeros(n)
+    cutoff = int(round(n / s))
+    cutoff = min(max(cutoff, 1), n)
+    for d in range(1, cutoff):
+        tau[d - 1] = s / (n * d)
+    tau[cutoff - 1] = s * np.log(s / delta) / n
+    mu = rho + tau
+    return mu / mu.sum()

@@ -1,0 +1,214 @@
+"""Generic belief propagation over parity-style factor graphs.
+
+One engine serves both baselines that need it:
+
+- **LDPC** (§8 "forty full iterations ... floating point"): every check is
+  a pure parity constraint.
+- **Raptor** (§8.2): LT output nodes are parity checks *with a channel
+  observation attached* — the received symbol's LLR enters the check update
+  as one extra tanh factor.  Precode checks remain pure parity.
+
+The engine is edge-vectorised: messages live on flat edge arrays ordered by
+check, with a cached permutation to variable order, so each iteration is a
+handful of ``np.add.reduceat`` calls regardless of graph shape.
+
+LLR convention: positive favours bit value 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BeliefPropagation"]
+
+_TANH_CLIP = 1.0 - 1e-12
+_TANH_FLOOR = 1e-30  # |tanh| floor: zero-LLR messages must multiply to ~0, not NaN
+_LLR_CLIP = 40.0
+
+
+class BeliefPropagation:
+    """Sum-product decoder on a bipartite (check, variable) graph.
+
+    Parameters
+    ----------
+    check_index, var_index:
+        Edge lists: edge e connects check ``check_index[e]`` to variable
+        ``var_index[e]``.
+    n_checks, n_vars:
+        Graph dimensions (checks/variables with no edges are allowed).
+    """
+
+    def __init__(
+        self,
+        check_index: np.ndarray,
+        var_index: np.ndarray,
+        n_checks: int,
+        n_vars: int,
+    ):
+        check_index = np.asarray(check_index, dtype=np.int64)
+        var_index = np.asarray(var_index, dtype=np.int64)
+        if check_index.shape != var_index.shape:
+            raise ValueError("edge arrays must align")
+        order = np.lexsort((var_index, check_index))
+        self.check_index = check_index[order]
+        self.var_index = var_index[order]
+        self.n_edges = self.check_index.size
+        self.n_checks = n_checks
+        self.n_vars = n_vars
+        # reduceat boundaries for check-ordered sums
+        self._check_starts = np.searchsorted(
+            self.check_index, np.arange(n_checks)
+        )
+        # permutation into variable order and its boundaries
+        self._to_var_order = np.argsort(self.var_index, kind="stable")
+        self._var_sorted_vars = self.var_index[self._to_var_order]
+        self._var_starts = np.searchsorted(
+            self._var_sorted_vars, np.arange(n_vars)
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_sums(self, edge_values: np.ndarray) -> np.ndarray:
+        """Per-check sums of an edge array (check order)."""
+        sums = np.add.reduceat(edge_values, self._check_starts)
+        # reduceat repeats the previous segment for empty checks; zero them
+        empty = np.diff(np.append(self._check_starts, self.n_edges)) == 0
+        if empty.any():
+            sums[empty] = 0.0
+        return sums
+
+    def _var_sums(self, edge_values: np.ndarray) -> np.ndarray:
+        """Per-variable sums of an edge array (check order in, var totals out)."""
+        in_var_order = edge_values[self._to_var_order]
+        sums = np.add.reduceat(in_var_order, self._var_starts)
+        empty = np.diff(np.append(self._var_starts, self.n_edges)) == 0
+        if empty.any():
+            sums[empty] = 0.0
+        return sums
+
+    # -- main loop ---------------------------------------------------------
+
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        iterations: int = 40,
+        check_obs_llrs: np.ndarray | None = None,
+        early_exit: bool = True,
+        algorithm: str = "sum-product",
+        min_sum_scale: float = 0.8,
+    ) -> tuple[np.ndarray, bool]:
+        """Run BP; returns (hard bits, all-parity-checks-satisfied).
+
+        Parameters
+        ----------
+        channel_llrs: per-variable intrinsic LLRs (0 for unobserved vars).
+        iterations: full sum-product iterations (paper: 40).
+        check_obs_llrs: optional per-check observation LLRs (Raptor LT
+            output nodes); +inf (the default) is a hard parity check.
+        early_exit: stop when hard decisions satisfy all pure parity
+            checks (only meaningful when every check is pure parity).
+        algorithm: "sum-product" (the paper's floating-point decoder) or
+            "min-sum" (normalised min-sum, the usual hardware
+            approximation; pure parity checks only).
+        min_sum_scale: the min-sum normalisation factor alpha.
+        """
+        if algorithm not in ("sum-product", "min-sum"):
+            raise ValueError(f"unknown BP algorithm {algorithm!r}")
+        if algorithm == "min-sum" and check_obs_llrs is not None:
+            raise ValueError("min-sum supports pure parity checks only")
+        chan = np.clip(np.asarray(channel_llrs, dtype=np.float64),
+                       -_LLR_CLIP, _LLR_CLIP)
+        if chan.size != self.n_vars:
+            raise ValueError("channel_llrs must have one entry per variable")
+        if check_obs_llrs is None:
+            obs_sign = np.ones(self.n_checks)
+            obs_logmag = np.zeros(self.n_checks)
+            pure_parity = True
+        else:
+            obs = np.asarray(check_obs_llrs, dtype=np.float64)
+            t = np.tanh(np.clip(obs, -_LLR_CLIP, _LLR_CLIP) / 2.0)
+            t = np.clip(t, -_TANH_CLIP, _TANH_CLIP)
+            obs_sign = np.sign(t)
+            obs_sign[obs_sign == 0] = 1.0
+            obs_logmag = np.log(np.maximum(np.abs(t), _TANH_FLOOR))
+            infinite = ~np.isfinite(obs) & (obs > 0)
+            obs_logmag[infinite] = 0.0
+            obs_sign[infinite] = 1.0
+            pure_parity = False
+
+        v2c = chan[self.var_index]
+        c2v = np.zeros(self.n_edges)
+        hard = (chan < 0).astype(np.uint8)
+
+        for _ in range(iterations):
+            if algorithm == "min-sum":
+                c2v = self._min_sum_check_update(v2c, min_sum_scale)
+            else:
+                # ---- check update (sign/log-magnitude split) ----
+                t = np.clip(np.tanh(v2c / 2.0), -_TANH_CLIP, _TANH_CLIP)
+                sign = np.where(t < 0, -1.0, 1.0)
+                logmag = np.log(np.maximum(np.abs(t), _TANH_FLOOR))
+                total_logmag = self._check_sums(logmag)
+                # product of signs per check via counting negatives
+                neg = (sign < 0).astype(np.float64)
+                total_neg = self._check_sums(neg)
+                check_sign = np.where(total_neg % 2 == 1, -1.0, 1.0)
+                e_logmag = (total_logmag[self.check_index] - logmag
+                            + obs_logmag[self.check_index])
+                e_sign = (check_sign[self.check_index] * sign
+                          * obs_sign[self.check_index])
+                prod = e_sign * np.exp(np.minimum(e_logmag, 0.0))
+                prod = np.clip(prod, -_TANH_CLIP, _TANH_CLIP)
+                c2v = 2.0 * np.arctanh(prod)
+                c2v = np.clip(c2v, -_LLR_CLIP, _LLR_CLIP)
+
+            # ---- variable update ----
+            var_total = self._var_sums(c2v)
+            posterior = chan + var_total
+            v2c = np.clip(posterior[self.var_index] - c2v,
+                          -_LLR_CLIP, _LLR_CLIP)
+
+            hard = (posterior < 0).astype(np.uint8)
+            if early_exit and pure_parity and self.syndrome_ok(hard):
+                return hard, True
+
+        ok = pure_parity and self.syndrome_ok(hard)
+        return hard, ok
+
+    def _min_sum_check_update(
+        self, v2c: np.ndarray, scale: float
+    ) -> np.ndarray:
+        """Normalised min-sum: c2v = alpha * prod(signs) * min(|others|).
+
+        The leave-one-out minimum is the segment minimum for every edge
+        except the (first) minimal edge itself, which takes the second
+        minimum; on ties the second minimum equals the first, so ties are
+        handled for free.
+        """
+        vabs = np.abs(v2c)
+        m1 = np.minimum.reduceat(vabs, self._check_starts)
+        # first occurrence of the minimum within each check segment
+        is_min = vabs == m1[self.check_index]
+        csum = np.cumsum(is_min)
+        seg_base = csum[self._check_starts] - is_min[self._check_starts]
+        first_min = is_min & (csum - seg_base[self.check_index] == 1)
+        masked = np.where(first_min, np.inf, vabs)
+        m2 = np.minimum.reduceat(masked, self._check_starts)
+        excl_min = np.where(first_min, m2[self.check_index],
+                            m1[self.check_index])
+
+        neg = (v2c < 0).astype(np.float64)
+        total_neg = self._check_sums(neg)
+        check_sign = np.where(total_neg % 2 == 1, -1.0, 1.0)
+        e_sign = check_sign[self.check_index] * np.where(v2c < 0, -1.0, 1.0)
+        c2v = scale * e_sign * excl_min
+        # a degree-1 check has no "others": its message is vacuous
+        c2v[~np.isfinite(c2v)] = 0.0
+        return np.clip(c2v, -_LLR_CLIP, _LLR_CLIP)
+
+    def syndrome_ok(self, bits: np.ndarray) -> bool:
+        """True when every check's variables XOR to zero."""
+        parities = self._check_sums(
+            bits[self.var_index].astype(np.float64)
+        ) % 2
+        return not parities.any()

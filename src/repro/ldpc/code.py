@@ -1,0 +1,80 @@
+"""LdpcCode: encode/decode wrapper tying construction, GF(2), and BP together."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ldpc.bp import BeliefPropagation
+from repro.ldpc.construction import make_qc_ldpc
+from repro.ldpc.gf2 import generator_from_parity
+
+__all__ = ["LdpcCode", "wifi_ldpc_family", "WIFI_RATES"]
+
+WIFI_RATES = ("1/2", "2/3", "3/4", "5/6")
+
+
+class LdpcCode:
+    """A binary LDPC code with systematic-style encoding and BP decoding.
+
+    The generator is derived once from the parity-check matrix by GF(2)
+    elimination; message bits can be read back out of a decoded codeword at
+    ``info_positions``.
+    """
+
+    def __init__(
+        self,
+        check_index: np.ndarray,
+        var_index: np.ndarray,
+        n: int,
+        m: int,
+        name: str = "ldpc",
+    ):
+        self.name = name
+        self.n = n
+        self.m = m
+        self.check_index = np.asarray(check_index, dtype=np.int64)
+        self.var_index = np.asarray(var_index, dtype=np.int64)
+        self.bp = BeliefPropagation(self.check_index, self.var_index, m, n)
+        h = np.zeros((m, n), dtype=np.uint8)
+        h[self.check_index, self.var_index] ^= 1
+        self._h = h
+        self.generator, self.info_positions = generator_from_parity(h)
+        self.k = self.generator.shape[0]
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    def encode(self, message_bits: np.ndarray) -> np.ndarray:
+        """Message (k bits) -> codeword (n bits)."""
+        message_bits = np.asarray(message_bits, dtype=np.uint8)
+        if message_bits.size != self.k:
+            raise ValueError(f"message must have {self.k} bits")
+        return (message_bits.astype(np.uint32) @ self.generator & 1).astype(np.uint8)
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the message bits from a (decoded) codeword."""
+        return np.asarray(codeword, dtype=np.uint8)[self.info_positions]
+
+    def decode(
+        self, llrs: np.ndarray, iterations: int = 40
+    ) -> tuple[np.ndarray, bool]:
+        """BP-decode channel LLRs; returns (message bits, syndrome ok)."""
+        codeword, ok = self.bp.decode(llrs, iterations=iterations)
+        return self.extract_message(codeword), ok
+
+    def parity_check(self, codeword: np.ndarray) -> bool:
+        """True when the word satisfies every check."""
+        return self.bp.syndrome_ok(np.asarray(codeword, dtype=np.uint8))
+
+
+@lru_cache(maxsize=None)
+def wifi_ldpc_family(seed: int = 2012) -> dict[str, LdpcCode]:
+    """The n=648 code family at 802.11n's four rates (built once, cached)."""
+    family = {}
+    for rate in WIFI_RATES:
+        ci, vi, n, m = make_qc_ldpc(rate, z=27, seed=seed)
+        family[rate] = LdpcCode(ci, vi, n, m, name=f"ldpc-648-r{rate}")
+    return family

@@ -1,0 +1,137 @@
+"""Gray-coded constellations with unit average power.
+
+Square QAM-2^(2m) is built as two independent Gray-coded PAM dimensions
+(the first m label bits select I, the last m select Q), which is both the
+802.11 convention and what makes exact soft demapping separable (QAM-256
+demaps as two 16-point PAM problems instead of one 256-point search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Constellation", "QAM", "QPSK", "BPSK", "make_constellation", "gray_code"]
+
+
+def gray_code(i: int | np.ndarray) -> int | np.ndarray:
+    """Binary-reflected Gray code of ``i``."""
+    return i ^ (i >> 1)
+
+
+def _gray_pam(m: int) -> tuple[np.ndarray, np.ndarray]:
+    """(levels, label_to_level_index) for a Gray-coded 2^m-PAM.
+
+    Levels ascend (-(2^m - 1) .. 2^m - 1 step 2, unnormalised); the label of
+    the level at index ``i`` is ``gray(i)``, so adjacent levels differ in
+    exactly one label bit.
+    """
+    n = 1 << m
+    levels = np.arange(-(n - 1), n, 2, dtype=np.float64)
+    label_to_index = np.empty(n, dtype=np.intp)
+    for i in range(n):
+        label_to_index[gray_code(i)] = i
+    return levels, label_to_index
+
+
+class Constellation:
+    """A labelled constellation with unit average power.
+
+    Attributes
+    ----------
+    points: ``(M,)`` complex array; ``points[label]`` is the symbol whose
+        bit pattern is ``label`` (MSB-first).
+    bits_per_symbol: ``log2(M)``.
+    """
+
+    def __init__(self, name: str, points: np.ndarray):
+        self.name = name
+        points = np.asarray(points, dtype=np.complex128)
+        m = points.size
+        if m & (m - 1):
+            raise ValueError("constellation size must be a power of two")
+        # Normalise to unit average energy.
+        self.points = points / np.sqrt(np.mean(np.abs(points) ** 2))
+        self.bits_per_symbol = m.bit_length() - 1
+
+    @property
+    def size(self) -> int:
+        return self.points.size
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map coded bits (MSB-first per symbol) to symbols."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        bps = self.bits_per_symbol
+        if bits.size % bps:
+            raise ValueError(f"bit count {bits.size} not divisible by {bps}")
+        weights = (1 << np.arange(bps - 1, -1, -1)).astype(np.int64)
+        labels = (bits.reshape(-1, bps).astype(np.int64) * weights).sum(axis=1)
+        return self.points[labels]
+
+    def bit_table(self) -> np.ndarray:
+        """``(M, bits_per_symbol)`` bit values of each label (for demapping)."""
+        labels = np.arange(self.size, dtype=np.int64)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1, dtype=np.int64)
+        return ((labels[:, None] >> shifts) & 1).astype(np.uint8)
+
+    @property
+    def is_separable(self) -> bool:
+        return False
+
+
+class QAM(Constellation):
+    """Square Gray-coded QAM with 2m bits per symbol.
+
+    The first m label bits Gray-select the I level, the last m the Q level.
+    """
+
+    def __init__(self, order: int):
+        if order < 4 or order & (order - 1):
+            raise ValueError("QAM order must be a power of two >= 4")
+        bps = order.bit_length() - 1
+        if bps % 2:
+            raise ValueError("square QAM needs an even number of bits/symbol")
+        m = bps // 2
+        levels, label_to_index = _gray_pam(m)
+        n_dim = 1 << m
+        labels = np.arange(order)
+        i_labels = labels >> m
+        q_labels = labels & (n_dim - 1)
+        points = (levels[label_to_index[i_labels]]
+                  + 1j * levels[label_to_index[q_labels]])
+        super().__init__(f"QAM-{order}", points)
+        self.m = m
+        # Per-dimension data for the separable demapper (normalised levels).
+        scale = 1.0 / np.sqrt(2.0 * (n_dim**2 - 1) / 3.0)
+        self.pam_levels = levels * scale
+        self.pam_label_to_index = label_to_index
+
+    @property
+    def is_separable(self) -> bool:
+        return True
+
+
+class QPSK(QAM):
+    """QAM-4 with Gray labels: the classic (±1 ± j)/sqrt(2)."""
+
+    def __init__(self):
+        super().__init__(4)
+        self.name = "QPSK"
+
+
+class BPSK(Constellation):
+    """Antipodal signalling on the real axis."""
+
+    def __init__(self):
+        super().__init__("BPSK", np.array([1.0 + 0j, -1.0 + 0j]))
+
+
+def make_constellation(name: str) -> Constellation:
+    """'bpsk', 'qpsk', or 'qam-<order>' (e.g. 'qam-256')."""
+    lowered = name.lower()
+    if lowered == "bpsk":
+        return BPSK()
+    if lowered == "qpsk":
+        return QPSK()
+    if lowered.startswith("qam-"):
+        return QAM(int(lowered[4:]))
+    raise ValueError(f"unknown constellation {name!r}")

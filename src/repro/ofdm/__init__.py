@@ -1,0 +1,6 @@
+"""802.11a/g OFDM waveform generation and PAPR measurement (Table 8.1)."""
+
+from repro.ofdm.modulator import OfdmModulator
+from repro.ofdm.papr import papr_db, papr_experiment
+
+__all__ = ["OfdmModulator", "papr_db", "papr_experiment"]

@@ -1,0 +1,55 @@
+"""802.11a/g-style OFDM symbol generation.
+
+64-point IFFT, 48 data subcarriers, 4 BPSK pilots, 11 guard carriers + DC
+null — the stack the paper's PHY discussion (§8.4) assumes.  The modulator
+oversamples the IFFT (zero-padding in frequency) so peak measurements see
+the analog waveform's peaks, not just the chip-rate samples; 4x is the
+customary choice for PAPR studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OfdmModulator"]
+
+# 802.11a/g subcarrier plan (indices in -26..26, DC excluded)
+_PILOT_CARRIERS = (-21, -7, 7, 21)
+_DATA_CARRIERS = tuple(
+    k for k in range(-26, 27)
+    if k != 0 and k not in _PILOT_CARRIERS
+)
+
+
+class OfdmModulator:
+    """Maps blocks of 48 complex data symbols onto OFDM time waveforms."""
+
+    n_fft = 64
+    n_data = len(_DATA_CARRIERS)  # 48
+    n_pilots = len(_PILOT_CARRIERS)
+
+    def __init__(self, oversampling: int = 4):
+        if oversampling < 1:
+            raise ValueError("oversampling must be >= 1")
+        self.oversampling = oversampling
+
+    def modulate(
+        self, data_symbols: np.ndarray, pilot_polarity: int = 1
+    ) -> np.ndarray:
+        """OFDM time-domain waveforms for blocks of 48 data symbols.
+
+        ``data_symbols`` has shape (n_syms, 48) (or (48,) for one symbol);
+        output is (n_syms, 64 * oversampling) complex time samples.
+        """
+        data_symbols = np.atleast_2d(np.asarray(data_symbols, np.complex128))
+        n_syms, width = data_symbols.shape
+        if width != self.n_data:
+            raise ValueError(f"need {self.n_data} data symbols per OFDM symbol")
+        n_out = self.n_fft * self.oversampling
+        freq = np.zeros((n_syms, n_out), dtype=np.complex128)
+        for j, k in enumerate(_DATA_CARRIERS):
+            freq[:, k % n_out] = data_symbols[:, j]
+        for k in _PILOT_CARRIERS:
+            freq[:, k % n_out] = pilot_polarity
+        # IFFT scaling keeps average power independent of oversampling.
+        return np.fft.ifft(freq, axis=1) * np.sqrt(n_out)

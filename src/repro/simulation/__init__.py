@@ -1,0 +1,28 @@
+"""Rateless execution engine and experiment harness (paper §8.1).
+
+"A generic rateless execution engine regulates the streaming of symbols
+across processing elements from the encoder, through the mapper, channel
+simulator, and demapper, to the decoder, and collects performance
+statistics.  All codes run through the same engine."
+"""
+
+from repro.simulation.engine import SessionResult, SpinalSession
+from repro.simulation.sweep import (
+    RateMeasurement,
+    RatelessScheme,
+    SpinalScheme,
+    measure_scheme,
+    measure_spinal_rate,
+    snr_sweep,
+)
+
+__all__ = [
+    "SpinalSession",
+    "SessionResult",
+    "RateMeasurement",
+    "RatelessScheme",
+    "SpinalScheme",
+    "measure_scheme",
+    "measure_spinal_rate",
+    "snr_sweep",
+]

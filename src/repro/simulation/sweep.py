@@ -1,0 +1,177 @@
+"""Rate measurement across messages and SNRs (paper §8.1 metrics).
+
+Every code in the comparison implements :class:`RatelessScheme` — "all
+codes run through the same engine".  The measured rate at an operating
+point is total bits delivered / total symbols transmitted, aggregated over
+messages; undecoded messages burn their symbols and deliver zero bits,
+exactly as a give-up does in the paper's framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.channels.base import Channel
+from repro.channels.capacity import awgn_capacity, gap_to_capacity_db
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation.engine import SpinalSession
+from repro.utils.bitops import random_message
+
+__all__ = [
+    "RateMeasurement",
+    "RatelessScheme",
+    "SpinalScheme",
+    "measure_scheme",
+    "measure_spinal_rate",
+    "snr_sweep",
+]
+
+ChannelFactory = Callable[[np.random.Generator], Channel]
+
+
+@dataclass
+class RateMeasurement:
+    """Aggregated performance of one code at one operating point."""
+
+    label: str
+    snr_db: float
+    n_messages: int
+    n_success: int
+    total_bits: int          # bits delivered (successes only)
+    total_symbols: int       # symbols transmitted (incl. failed messages)
+
+    @property
+    def rate(self) -> float:
+        """Bits per symbol (the paper's headline metric)."""
+        if self.total_symbols == 0:
+            return 0.0
+        return self.total_bits / self.total_symbols
+
+    @property
+    def success_fraction(self) -> float:
+        return self.n_success / self.n_messages if self.n_messages else 0.0
+
+    @property
+    def gap_db(self) -> float:
+        """Gap to AWGN capacity at this SNR (negative; §8.1)."""
+        if self.rate <= 0.0:
+            return float("-inf")
+        return gap_to_capacity_db(self.rate, self.snr_db)
+
+    @property
+    def fraction_of_capacity(self) -> float:
+        return self.rate / awgn_capacity(self.snr_db)
+
+
+class RatelessScheme:
+    """One code plugged into the shared measurement engine.
+
+    Subclasses run a single message over a fresh channel and report
+    ``(bits_delivered, symbols_used)``.
+    """
+
+    name = "scheme"
+
+    def run_message(
+        self, channel: Channel, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        raise NotImplementedError
+
+
+class SpinalScheme(RatelessScheme):
+    """Spinal code adapter for the shared engine."""
+
+    def __init__(
+        self,
+        params: SpinalParams,
+        decoder_params: DecoderParams,
+        n_bits: int,
+        give_csi: bool = False,
+        probe_growth: float = 1.5,
+        label: str | None = None,
+    ):
+        self.params = params
+        self.decoder_params = decoder_params
+        self.n_bits = n_bits
+        self.give_csi = give_csi
+        self.probe_growth = probe_growth
+        self.name = label or f"spinal n={n_bits} k={params.k} B={decoder_params.B}"
+
+    def run_message(
+        self, channel: Channel, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        message = random_message(self.n_bits, rng)
+        session = SpinalSession(
+            self.params, self.decoder_params, message, channel,
+            give_csi=self.give_csi, probe_growth=self.probe_growth,
+        )
+        result = session.run()
+        return (self.n_bits if result.success else 0), result.n_symbols
+
+
+def measure_scheme(
+    scheme: RatelessScheme,
+    channel_factory: ChannelFactory,
+    snr_db: float,
+    n_messages: int,
+    seed: int = 0,
+) -> RateMeasurement:
+    """Run ``n_messages`` through a scheme at one operating point."""
+    master = np.random.default_rng(seed)
+    total_bits = 0
+    total_symbols = 0
+    n_success = 0
+    for _ in range(n_messages):
+        rng = np.random.default_rng(master.integers(0, 2**63))
+        channel = channel_factory(rng)
+        bits, symbols = scheme.run_message(channel, rng)
+        total_bits += bits
+        total_symbols += symbols
+        n_success += bits > 0
+    return RateMeasurement(
+        label=scheme.name,
+        snr_db=snr_db,
+        n_messages=n_messages,
+        n_success=n_success,
+        total_bits=total_bits,
+        total_symbols=total_symbols,
+    )
+
+
+def measure_spinal_rate(
+    params: SpinalParams,
+    decoder_params: DecoderParams,
+    n_bits: int,
+    channel_factory: ChannelFactory,
+    snr_db: float,
+    n_messages: int,
+    seed: int = 0,
+    give_csi: bool = False,
+    probe_growth: float = 1.5,
+) -> RateMeasurement:
+    """Convenience wrapper for spinal-only experiments."""
+    scheme = SpinalScheme(
+        params, decoder_params, n_bits,
+        give_csi=give_csi, probe_growth=probe_growth,
+    )
+    return measure_scheme(scheme, channel_factory, snr_db, n_messages, seed)
+
+
+def snr_sweep(
+    scheme: RatelessScheme,
+    make_channel: Callable[[float, np.random.Generator], Channel],
+    snrs_db: Sequence[float],
+    n_messages: int,
+    seed: int = 0,
+) -> list[RateMeasurement]:
+    """Measure a scheme across an SNR range (1 dB steps in the paper)."""
+    out = []
+    for i, snr in enumerate(snrs_db):
+        factory = lambda rng, s=snr: make_channel(s, rng)  # noqa: E731
+        out.append(
+            measure_scheme(scheme, factory, snr, n_messages, seed=seed + 7919 * i)
+        )
+    return out

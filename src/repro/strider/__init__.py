@@ -1,0 +1,26 @@
+"""Strider: the layered rateless baseline (Gudipati & Katti, SIGCOMM 2011).
+
+The paper compares against its own C++ port of the authors' Matlab code
+(§8): a message is split into G data blocks ("layers"), each encoded by a
+fixed rate-1/5 turbo code and QPSK-modulated; every transmitted pass is a
+per-symbol linear combination of all layer streams with pass-specific
+coefficients.  The receiver performs successive interference cancellation
+(SIC): MMSE-combine the passes for one layer, turbo-decode it, re-encode,
+subtract, repeat.  Without puncturing the achievable rates form the
+staircase (2/5)·G/L; the paper's "Strider+" adds puncturing (partial
+passes) for finer rate granularity, reproduced here via the
+``subpasses_per_pass`` knob.
+"""
+
+from repro.strider.rsc import RscCode
+from repro.strider.bcjr import max_log_bcjr
+from repro.strider.turbo import TurboCodec
+from repro.strider.strider import StriderCodec, StriderScheme
+
+__all__ = [
+    "RscCode",
+    "max_log_bcjr",
+    "TurboCodec",
+    "StriderCodec",
+    "StriderScheme",
+]

@@ -1,0 +1,110 @@
+"""Max-log-MAP (BCJR) decoding of one RSC constituent code.
+
+The forward/backward recursions are inherently sequential in time, so the
+time loop stays in Python with all per-step work vectorised over the 16
+trellis branches; the final LLR extraction is fully vectorised over time.
+Max-log (max instead of log-sum-exp) costs ~0.1 dB versus exact log-MAP
+and is what high-throughput turbo implementations use.
+
+LLR convention matches the rest of the library: positive favours bit 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.strider.rsc import RscCode
+
+__all__ = ["max_log_bcjr", "BcjrTrellis"]
+
+_NEG = -1e30
+
+
+class BcjrTrellis:
+    """Precomputed flat branch arrays for an RSC trellis."""
+
+    def __init__(self, code: RscCode):
+        self.code = code
+        ns = code.n_states
+        branches = []
+        for s in range(ns):
+            for u in (0, 1):
+                branches.append((s, u, int(code.next_state[s, u])))
+        self.from_state = np.array([b[0] for b in branches], dtype=np.int64)
+        self.input_bit = np.array([b[1] for b in branches], dtype=np.int64)
+        self.to_state = np.array([b[2] for b in branches], dtype=np.int64)
+        # +1 when the bit hypothesis is 0 (positive LLR favours 0)
+        self.sys_sign = 1.0 - 2.0 * self.input_bit
+        par = np.array(
+            [code.parity_out[b[0], b[1]] for b in branches], dtype=np.float64
+        )  # (n_branches, n_parity)
+        self.par_sign = 1.0 - 2.0 * par
+        self.n_states = ns
+        self.n_branches = len(branches)
+
+
+def max_log_bcjr(
+    trellis: BcjrTrellis,
+    sys_llrs: np.ndarray,
+    parity_llrs: np.ndarray,
+    a_priori: np.ndarray | None = None,
+    terminated: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode one constituent code.
+
+    Parameters
+    ----------
+    trellis: precomputed :class:`BcjrTrellis`.
+    sys_llrs: (T,) systematic LLRs (including tail positions).
+    parity_llrs: (n_parity, T) parity LLRs.
+    a_priori: (T,) extrinsic input from the other decoder (0 if None).
+    terminated: trellis ends in state 0 (tail transmitted).
+
+    Returns
+    -------
+    (posterior_llrs, extrinsic_llrs), both (T,).  The extrinsic output is
+    posterior − systematic − a-priori, ready to feed the peer decoder.
+    """
+    sys_llrs = np.asarray(sys_llrs, dtype=np.float64)
+    parity_llrs = np.asarray(parity_llrs, dtype=np.float64)
+    t_len = sys_llrs.size
+    if a_priori is None:
+        a_priori = np.zeros(t_len)
+    ns = trellis.n_states
+
+    # gamma[t, branch]: all branch metrics, vectorised over time upfront
+    sys_term = 0.5 * (sys_llrs + a_priori)[:, None] * trellis.sys_sign[None, :]
+    par_term = 0.5 * np.einsum(
+        "pt,bp->tb", parity_llrs, trellis.par_sign
+    )
+    gamma = sys_term + par_term  # (T, n_branches)
+
+    frm, to = trellis.from_state, trellis.to_state
+
+    alpha = np.full((t_len + 1, ns), _NEG)
+    alpha[0, 0] = 0.0
+    for t in range(t_len):
+        cand = alpha[t, frm] + gamma[t]
+        nxt = np.full(ns, _NEG)
+        np.maximum.at(nxt, to, cand)
+        nxt -= nxt.max()  # normalise to avoid drift
+        alpha[t + 1] = nxt
+
+    beta = np.full((t_len + 1, ns), _NEG)
+    if terminated:
+        beta[t_len, 0] = 0.0
+    else:
+        beta[t_len, :] = 0.0
+    for t in range(t_len - 1, -1, -1):
+        cand = beta[t + 1, to] + gamma[t]
+        prv = np.full(ns, _NEG)
+        np.maximum.at(prv, frm, cand)
+        prv -= prv.max()
+        beta[t] = prv
+
+    # posterior LLRs, vectorised over time
+    metric = alpha[:-1][:, frm] + gamma + beta[1:][:, to]  # (T, n_branches)
+    zero_mask = trellis.input_bit == 0
+    llr = metric[:, zero_mask].max(axis=1) - metric[:, ~zero_mask].max(axis=1)
+    extrinsic = llr - sys_llrs - a_priori
+    return llr, extrinsic

@@ -1,0 +1,98 @@
+"""Rate-1/5 turbo code: Strider's base code (§8: "a rate-1/5 base turbo
+code with QPSK modulation").
+
+Two 8-state RSCs (feedback 13, feedforward 15 and 17 octal) joined by a
+seeded uniform interleaver.  Streams per input bit: systematic + two
+parities from each constituent = 5 coded bits (both constituents are
+trellis-terminated; their short tails ride along at the end of the
+streams).  Decoding iterates max-log BCJR with extrinsic exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.strider.bcjr import BcjrTrellis, max_log_bcjr
+from repro.strider.rsc import RscCode
+
+__all__ = ["TurboCodec"]
+
+
+class TurboCodec:
+    """Terminated rate-1/5 turbo codec for a fixed block length.
+
+    Parameters
+    ----------
+    k: information bits per block.
+    interleaver_seed: seed of the uniform interleaver (shared by both ends).
+    iterations: BCJR exchange rounds at the decoder.
+    """
+
+    def __init__(self, k: int, interleaver_seed: int = 0, iterations: int = 6):
+        self.k = k
+        self.iterations = iterations
+        self.rsc = RscCode(feedback=13, feedforward=(15, 17))
+        self.trellis = BcjrTrellis(self.rsc)
+        rng = np.random.default_rng(interleaver_seed)
+        self.interleaver = rng.permutation(k)
+        self.deinterleaver = np.argsort(self.interleaver)
+        self._m = self.rsc.memory
+        #: coded bits per block: (k + m) systematic+tail coverage per
+        #: constituent; stream layout below.
+        self.n_coded = 5 * k + 6 * self._m
+
+    def encode(self, message_bits: np.ndarray) -> np.ndarray:
+        """Message -> flat coded bit stream.
+
+        Layout: [sys(k) | tail1(m) | p1a(k+m) | p1b(k+m) |
+                 tail2_sys(m) | p2a(k+m) | p2b(k+m)].
+        """
+        message_bits = np.asarray(message_bits, dtype=np.uint8)
+        if message_bits.size != self.k:
+            raise ValueError(f"message must have {self.k} bits")
+        sys1, par1, tail1 = self.rsc.encode(message_bits, terminate=True)
+        interleaved = message_bits[self.interleaver]
+        sys2, par2, tail2 = self.rsc.encode(interleaved, terminate=True)
+        del sys2  # systematic bits are sent once; only tail2 is new
+        return np.concatenate([
+            sys1,             # k + m bits (message + tail1)
+            par1[0], par1[1],  # each k + m
+            tail2,            # m bits
+            par2[0], par2[1],  # each k + m
+        ]).astype(np.uint8)
+
+    def split_llrs(self, llrs: np.ndarray) -> dict[str, np.ndarray]:
+        """Carve a flat coded-bit LLR array back into streams."""
+        k, m = self.k, self._m
+        if llrs.size != self.n_coded:
+            raise ValueError(f"expected {self.n_coded} LLRs, got {llrs.size}")
+        pos = 0
+        out = {}
+        for name, length in (
+            ("sys1", k + m), ("p1a", k + m), ("p1b", k + m),
+            ("tail2", m), ("p2a", k + m), ("p2b", k + m),
+        ):
+            out[name] = llrs[pos:pos + length]
+            pos += length
+        return out
+
+    def decode(self, llrs: np.ndarray) -> np.ndarray:
+        """Iterative turbo decoding; returns hard message bits."""
+        s = self.split_llrs(np.asarray(llrs, dtype=np.float64))
+        k, m = self.k, self._m
+        sys1 = s["sys1"]
+        # Decoder 2 sees the interleaved systematic bits + its own tail.
+        sys2 = np.concatenate([sys1[:k][self.interleaver], s["tail2"]])
+        par1 = np.stack([s["p1a"], s["p1b"]])
+        par2 = np.stack([s["p2a"], s["p2b"]])
+
+        extrinsic2 = np.zeros(k)  # from decoder 2, message positions
+        posterior = sys1[:k].copy()
+        for _ in range(self.iterations):
+            apri1 = np.concatenate([extrinsic2, np.zeros(m)])
+            _, ext1 = max_log_bcjr(self.trellis, sys1, par1, apri1)
+            apri2 = np.concatenate([ext1[:k][self.interleaver], np.zeros(m)])
+            llr2, ext2 = max_log_bcjr(self.trellis, sys2, par2, apri2)
+            extrinsic2 = ext2[:k][self.deinterleaver]
+            posterior = (llr2[:k])[self.deinterleaver]
+        return (posterior < 0).astype(np.uint8)

@@ -1,0 +1,27 @@
+"""Shared utilities: bit packing, result records, and ASCII rendering."""
+
+from repro.utils.bitops import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    chunk_bits,
+    hamming_distance,
+    pack_chunks,
+    random_message,
+)
+from repro.utils.results import ExperimentResult, SeriesResult, render_table
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_bytes",
+    "bits_to_int",
+    "chunk_bits",
+    "hamming_distance",
+    "pack_chunks",
+    "random_message",
+    "ExperimentResult",
+    "SeriesResult",
+    "render_table",
+]

@@ -1,0 +1,88 @@
+"""Tests for the three CSI modes of the rateless sessions (Fig 8-4 vs 8-5).
+
+``full`` = exact per-symbol coefficients; ``phase`` = carrier recovery only
+(amplitude-blind — the realistic "no fading information" receiver);
+``none`` = raw observations treated as AWGN.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel, RayleighBlockFadingChannel
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalSession
+from repro.simulation.engine import _csi_mode
+from repro.strider import StriderScheme
+from repro.utils.bitops import random_message
+
+
+class TestCsiModeParsing:
+    def test_bool_mapping(self):
+        assert _csi_mode(True) == "full"
+        assert _csi_mode(False) == "none"
+
+    def test_strings_pass_through(self):
+        for mode in ("full", "phase", "none"):
+            assert _csi_mode(mode) == mode
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            _csi_mode("genie")
+
+
+class TestSpinalCsiModes:
+    def _run(self, mode, seed=0, snr=18, tau=16):
+        params = SpinalParams()
+        dec = DecoderParams(B=128, max_passes=40)
+        msg = random_message(128, seed)
+        ch = RayleighBlockFadingChannel(snr, coherence_time=tau, rng=seed + 1)
+        return SpinalSession(params, dec, msg, ch, give_csi=mode).run()
+
+    def test_full_csi_best(self):
+        """full <= phase <= none in symbols needed (averaged)."""
+        full = phase = none = 0
+        for seed in range(3):
+            full += self._run("full", seed).n_symbols
+            phase += self._run("phase", seed).n_symbols
+            none_r = self._run("none", seed)
+            none += none_r.n_symbols if none_r.success else 10**5
+        assert full <= phase <= none
+
+    def test_phase_mode_decodes(self):
+        """Amplitude-blind decoding works where truly-blind cannot."""
+        ok_phase = sum(self._run("phase", s, tau=1).success for s in range(3))
+        ok_none = sum(self._run("none", s, tau=1).success for s in range(3))
+        assert ok_phase >= 2
+        assert ok_phase >= ok_none
+
+    def test_awgn_unaffected_by_mode(self):
+        """On a CSI-less channel the modes are all equivalent."""
+        params = SpinalParams()
+        dec = DecoderParams(B=64, max_passes=24)
+        msg = random_message(96, 5)
+        results = []
+        for mode in ("full", "phase", "none"):
+            ch = AWGNChannel(14, rng=6)
+            results.append(SpinalSession(params, dec, msg, ch,
+                                         give_csi=mode).run().n_symbols)
+        assert len(set(results)) == 1
+
+
+class TestStriderCsiModes:
+    def test_mode_stored(self):
+        assert StriderScheme(960, 6, give_csi=True).csi_mode == "full"
+        assert StriderScheme(960, 6, give_csi="phase").csi_mode == "phase"
+
+    def test_full_vs_phase_on_fading(self):
+        from repro.simulation import measure_scheme
+
+        def factory(rng):
+            return RayleighBlockFadingChannel(16, coherence_time=10, rng=rng)
+
+        full = measure_scheme(
+            StriderScheme(960, 6, max_passes=20, give_csi="full"),
+            factory, 16, n_messages=2, seed=1)
+        phase = measure_scheme(
+            StriderScheme(960, 6, max_passes=20, give_csi="phase"),
+            factory, 16, n_messages=2, seed=1)
+        assert full.rate >= phase.rate

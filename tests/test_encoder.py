@@ -1,0 +1,109 @@
+"""Tests for the spinal encoder (§3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import SpinalEncoder
+from repro.core.params import SpinalParams
+from repro.utils.bitops import random_message
+
+
+@pytest.fixture
+def params():
+    return SpinalParams(puncturing="none", tail_symbols=1)
+
+
+class TestEncoderBasics:
+    def test_rejects_indivisible_length(self, params):
+        with pytest.raises(ValueError):
+            SpinalEncoder(params, random_message(30, 0))  # 30 % 4 != 0
+
+    def test_spine_length(self, params):
+        enc = SpinalEncoder(params, random_message(64, 0))
+        assert enc.n_spine == 16
+        assert enc.spine.shape == (16,)
+
+    def test_symbols_complex(self, params):
+        enc = SpinalEncoder(params, random_message(32, 1))
+        block = enc.generate(0)
+        assert block.values.dtype == np.complex128
+        assert len(block) == enc.n_spine  # tail=1: exactly one per spine
+
+    def test_prefix_property(self, params):
+        """Rateless prefix property: symbols at higher rates are a prefix
+        of symbols at lower rates (§1, §3)."""
+        enc = SpinalEncoder(params, random_message(64, 2))
+        two_passes = enc.generate_passes(2)
+        one_pass = enc.generate_passes(1)
+        n = len(one_pass)
+        assert np.array_equal(two_passes.values[:n], one_pass.values)
+
+    def test_deterministic(self, params):
+        msg = random_message(64, 3)
+        a = SpinalEncoder(params, msg).generate_passes(2)
+        b = SpinalEncoder(params, msg).generate_passes(2)
+        assert np.array_equal(a.values, b.values)
+
+    def test_regenerable_out_of_order(self, params):
+        """Any subpass can be produced without generating earlier ones."""
+        enc = SpinalEncoder(params, random_message(64, 4))
+        all_blocks = enc.generate(0, 3)
+        third = enc.generate(2, 1)
+        n12 = len(enc.generate(0, 2))
+        assert np.array_equal(all_blocks.values[n12:], third.values)
+
+    def test_messages_differing_in_one_bit_diverge(self, params):
+        """Encoded symbols become independent after the differing bit (§1)."""
+        a = random_message(64, 5)
+        b = a.copy()
+        b[4] ^= 1  # chunk index 1
+        ea = SpinalEncoder(params, a).generate_passes(1)
+        eb = SpinalEncoder(params, b).generate_passes(1)
+        assert ea.values[0] == eb.values[0]  # chunk 0 symbols identical
+        assert not np.allclose(ea.values[1:], eb.values[1:])
+
+    def test_average_power(self):
+        """Mean complex symbol power should approximate P = 1."""
+        params = SpinalParams(puncturing="none")
+        enc = SpinalEncoder(params, random_message(1024, 6))
+        block = enc.generate_passes(8)
+        power = np.mean(np.abs(block.values) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+
+class TestBscEncoder:
+    def test_bits_out(self):
+        params = SpinalParams.bsc()
+        enc = SpinalEncoder(params, random_message(64, 7))
+        block = enc.generate_passes(1)
+        assert block.values.dtype == np.uint8
+        assert set(np.unique(block.values)) <= {0, 1}
+
+    def test_bits_balanced(self):
+        params = SpinalParams.bsc()
+        enc = SpinalEncoder(params, random_message(512, 8))
+        block = enc.generate_passes(20)
+        assert 0.45 < block.values.mean() < 0.55
+
+
+class TestPuncturedEncoder:
+    def test_eight_way_subpass_sizes(self):
+        params = SpinalParams(puncturing="8-way", tail_symbols=2)
+        enc = SpinalEncoder(params, random_message(256, 9))  # n_spine=64
+        sizes = [len(enc.generate(g)) for g in range(8)]
+        # first subpass: 7 regular + 2 tail; others: 8 regular
+        assert sizes[0] == 9
+        assert sizes[1:] == [8] * 7
+        assert sum(sizes) == enc.symbols_per_pass()
+
+    def test_symbols_per_pass(self):
+        params = SpinalParams(puncturing="8-way", tail_symbols=2)
+        enc = SpinalEncoder(params, random_message(256, 10))
+        assert enc.symbols_per_pass() == 63 + 2
+
+    def test_hardware_profile_params(self):
+        params = SpinalParams.hardware_profile()
+        enc = SpinalEncoder(params, random_message(192, 11))
+        assert params.c == 7
+        block = enc.generate(0)
+        assert len(block) > 0

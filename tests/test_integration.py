@@ -1,0 +1,175 @@
+"""Cross-module integration tests: full paper pipelines end to end.
+
+Each test exercises a complete sender -> channel -> receiver path the way
+the evaluation chapter does, including failure injection cases the unit
+tests can't see (frame erasure, out-of-order subpasses, beam starvation
+recovery across passes).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AWGNChannel,
+    BSCChannel,
+    BubbleDecoder,
+    DecoderParams,
+    RayleighBlockFadingChannel,
+    SpinalEncoder,
+    SpinalParams,
+    SpinalSession,
+)
+from repro.core.symbols import ReceivedSymbols
+from repro.utils.bitops import random_message
+
+
+class TestLostSubpasses:
+    """§7.1: the RNG is index-addressable so lost frames don't require
+    regenerating missing symbols — decoding proceeds with what arrived."""
+
+    def test_decode_with_missing_middle_subpass(self):
+        params = SpinalParams()
+        msg = random_message(256, 0)
+        enc = SpinalEncoder(params, msg)
+        channel = AWGNChannel(15, rng=1)
+        store = ReceivedSymbols(enc.n_spine)
+        for g in range(16):  # two passes
+            if g == 5:
+                continue  # erased frame
+            block = enc.generate(g)
+            out = channel.transmit(block.values)
+            store.add_block(block.spine_indices, block.slots, out.values)
+        result = BubbleDecoder(params, DecoderParams(B=256), 256).decode(store)
+        assert result.matches(msg)
+
+    def test_decode_with_out_of_order_arrival(self):
+        params = SpinalParams()
+        msg = random_message(128, 2)
+        enc = SpinalEncoder(params, msg)
+        channel = AWGNChannel(18, rng=3)
+        blocks = []
+        for g in range(8):
+            block = enc.generate(g)
+            out = channel.transmit(block.values)
+            blocks.append((block, out.values))
+        store = ReceivedSymbols(enc.n_spine)
+        for block, values in reversed(blocks):  # reordered delivery
+            store.add_block(block.spine_indices, block.slots, values)
+        result = BubbleDecoder(params, DecoderParams(B=128), 128).decode(store)
+        assert result.matches(msg)
+
+
+class TestBeamRecovery:
+    """§8.4 code-block-length discussion: once pruned, the true path is
+    unlikely to resynchronise — but more passes re-discriminate, so the
+    rateless loop recovers by construction."""
+
+    def test_narrow_beam_eventually_decodes(self):
+        params = SpinalParams()
+        msg = random_message(128, 4)
+        session = SpinalSession(
+            params, DecoderParams(B=8, max_passes=40), msg,
+            AWGNChannel(10, rng=5))
+        result = session.run()
+        assert result.success
+        # and needs more symbols than a wide beam on the same channel seed
+        wide = SpinalSession(
+            params, DecoderParams(B=256, max_passes=40), msg,
+            AWGNChannel(10, rng=5)).run()
+        assert wide.n_symbols <= result.n_symbols
+
+
+class TestChannelMixes:
+    def test_same_code_awgn_and_fading(self):
+        """One code configuration runs unmodified on both channel models."""
+        params = SpinalParams()
+        dec = DecoderParams(B=128, max_passes=48)
+        msg = random_message(128, 6)
+        awgn = SpinalSession(params, dec, msg, AWGNChannel(15, rng=7)).run()
+        fading = SpinalSession(
+            params, dec, msg,
+            RayleighBlockFadingChannel(15, coherence_time=10, rng=8),
+            give_csi=True).run()
+        assert awgn.success and fading.success
+        # fading at equal average SNR costs symbols (capacity is lower)
+        assert fading.n_symbols >= awgn.n_symbols * 0.8
+
+    def test_bsc_and_awgn_share_machinery(self):
+        dec = DecoderParams(B=64, max_passes=32)
+        msg = random_message(64, 9)
+        bsc = SpinalSession(SpinalParams.bsc(), dec, msg,
+                            BSCChannel(0.02, rng=10)).run()
+        assert bsc.success
+        assert bsc.rate <= 1.0  # one bit per channel use max
+
+
+class TestCollisionResilience:
+    """§8.4: hash collisions are rare (~once per 2^14 decodes at the
+    paper's parameters) and decoding statistics should be unaffected."""
+
+    def test_many_decodes_all_succeed_at_high_snr(self):
+        params = SpinalParams()
+        dec = DecoderParams(B=64, max_passes=16)
+        ok = 0
+        for seed in range(12):
+            msg = random_message(64, seed)
+            r = SpinalSession(params, dec, msg,
+                              AWGNChannel(20, rng=100 + seed)).run()
+            ok += r.success
+        assert ok == 12
+
+
+class TestAdversarialMessages:
+    """s0 acts as a scrambler: degenerate messages still encode to
+    pseudo-random symbols and decode normally (§3.2)."""
+
+    @pytest.mark.parametrize("pattern", ["zeros", "ones", "alternating"])
+    def test_degenerate_messages(self, pattern):
+        n = 128
+        if pattern == "zeros":
+            msg = np.zeros(n, dtype=np.uint8)
+        elif pattern == "ones":
+            msg = np.ones(n, dtype=np.uint8)
+        else:
+            msg = np.tile(np.array([0, 1], dtype=np.uint8), n // 2)
+        params = SpinalParams(s0=0xACE1)
+        session = SpinalSession(params, DecoderParams(B=64, max_passes=24),
+                                msg, AWGNChannel(15, rng=11))
+        result = session.run()
+        assert result.success
+        # symbol stream looks balanced despite the degenerate input
+        enc = SpinalEncoder(params, msg)
+        symbols = enc.generate_passes(8).values
+        assert abs(symbols.real.mean()) < 4.0 * np.sqrt(0.5 / symbols.size)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.15)
+
+
+class TestRatelessPrefixAcrossCodes:
+    """The defining rateless property holds for every rateless code here."""
+
+    def test_spinal_prefix(self):
+        params = SpinalParams()
+        enc = SpinalEncoder(params, random_message(256, 12))
+        a = enc.generate(0, 24)
+        b = enc.generate(0, 8)
+        assert np.array_equal(a.values[: len(b)], b.values)
+
+    def test_lt_prefix(self):
+        from repro.fountain import LTStream
+
+        lt = LTStream(100, seed=13)
+        block = random_message(100, 14)
+        long = lt.encode_range(block, 0, 50)
+        short = lt.encode_range(block, 0, 20)
+        assert np.array_equal(long[:20], short)
+
+    def test_strider_prefix(self):
+        from repro.strider import StriderCodec
+
+        codec = StriderCodec(n_bits=240, n_layers=4, max_passes=6)
+        layers = codec.encode_layers(random_message(240, 15))
+        full = codec.pass_symbols(layers, 0)
+        half = codec.pass_symbols(layers, 0, 0, full.size // 2)
+        # allclose, not equal: BLAS may accumulate sliced matmuls in a
+        # different order, producing last-ulp differences
+        assert np.allclose(full[: half.size], half, atol=1e-12)

@@ -1,0 +1,89 @@
+"""Tests for the normalised min-sum BP variant (hardware-style decoding)."""
+
+import numpy as np
+import pytest
+
+from repro.channels.awgn import AWGNChannel
+from repro.ldpc import BeliefPropagation, wifi_ldpc_family
+from repro.modulation import make_constellation, soft_demap
+
+
+class TestMinSumPrimitive:
+    def test_repetition_code(self):
+        bp = BeliefPropagation(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 2]), 2, 3
+        )
+        bits, ok = bp.decode(np.array([5.0, 0.0, 0.0]), algorithm="min-sum")
+        assert ok
+        assert bits.tolist() == [0, 0, 0]
+
+    def test_spc_correction(self):
+        bp = BeliefPropagation(np.zeros(3, int), np.arange(3), 1, 3)
+        bits, ok = bp.decode(np.array([-6.0, -6.0, 0.8]), iterations=5,
+                             algorithm="min-sum")
+        assert ok
+        assert bits.tolist() == [1, 1, 0]
+
+    def test_leave_one_out_minimum_with_ties(self):
+        """Two equal minima: every edge's excl-min equals that value."""
+        bp = BeliefPropagation(np.zeros(3, int), np.arange(3), 1, 3)
+        c2v = bp._min_sum_check_update(np.array([2.0, 2.0, 5.0]), scale=1.0)
+        assert c2v[0] == pytest.approx(2.0)
+        assert c2v[1] == pytest.approx(2.0)
+        assert c2v[2] == pytest.approx(2.0)
+
+    def test_leave_one_out_unique_minimum(self):
+        bp = BeliefPropagation(np.zeros(3, int), np.arange(3), 1, 3)
+        c2v = bp._min_sum_check_update(np.array([1.0, 3.0, 5.0]), scale=1.0)
+        assert abs(c2v[0]) == pytest.approx(3.0)  # excludes itself
+        assert abs(c2v[1]) == pytest.approx(1.0)
+        assert abs(c2v[2]) == pytest.approx(1.0)
+
+    def test_sign_rule(self):
+        bp = BeliefPropagation(np.zeros(3, int), np.arange(3), 1, 3)
+        c2v = bp._min_sum_check_update(np.array([-1.0, 3.0, 5.0]), scale=1.0)
+        # edges 1 and 2 see one negative peer -> negative message
+        assert c2v[1] < 0 and c2v[2] < 0
+        assert c2v[0] > 0
+
+    def test_rejects_obs_checks(self):
+        bp = BeliefPropagation(np.array([0]), np.array([0]), 1, 1)
+        with pytest.raises(ValueError):
+            bp.decode(np.zeros(1), check_obs_llrs=np.array([1.0]),
+                      algorithm="min-sum")
+
+    def test_rejects_unknown_algorithm(self):
+        bp = BeliefPropagation(np.array([0]), np.array([0]), 1, 1)
+        with pytest.raises(ValueError):
+            bp.decode(np.zeros(1), algorithm="bit-flipping")
+
+
+class TestMinSumLdpc:
+    def test_decodes_wifi_code(self):
+        code = wifi_ldpc_family()["1/2"]
+        rng = np.random.default_rng(0)
+        msg = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        cw = code.encode(msg)
+        const = make_constellation("qpsk")
+        ch = AWGNChannel(5, rng=1)
+        y = ch.transmit(const.modulate(cw)).values
+        llrs = soft_demap(const, y, ch.noise_power)
+        decoded, ok = code.bp.decode(llrs[: code.n], iterations=40,
+                                     algorithm="min-sum")
+        assert ok
+        assert np.array_equal(code.extract_message(decoded), msg)
+
+    def test_close_to_sum_product(self):
+        """Min-sum should match sum-product decisions on easy channels."""
+        code = wifi_ldpc_family()["3/4"]
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        cw = code.encode(msg)
+        const = make_constellation("qpsk")
+        ch = AWGNChannel(8, rng=3)
+        y = ch.transmit(const.modulate(cw)).values
+        llrs = soft_demap(const, y, ch.noise_power)
+        sp, _ = code.bp.decode(llrs[: code.n], iterations=30)
+        ms, _ = code.bp.decode(llrs[: code.n], iterations=30,
+                               algorithm="min-sum")
+        assert np.array_equal(sp, ms)
