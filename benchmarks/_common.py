@@ -12,6 +12,7 @@ the default ``quick`` profile keeps the whole suite in tens of minutes.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -46,6 +47,21 @@ def finish(result: ExperimentResult) -> None:
     print(result.render())
     path = result.write_csv(RESULTS_DIR)
     print(f"[csv] {path}")
+
+
+def write_json(name: str, payload) -> str:
+    """Persist a machine-readable result file (``bench_results/<name>.json``).
+
+    Keys are sorted so reruns of a deterministic experiment are
+    byte-identical — the same canonical form the link batch runner uses.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, sort_keys=True, indent=2)
+        f.write("\n")
+    print(f"[json] {path}")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -11,7 +11,6 @@ k=2048 (paper 9500), Strider G=12 with ~160-bit layers (paper G=33 with
 """
 
 import numpy as np
-import pytest
 
 from repro.channels import awgn_capacity, gap_to_capacity_db
 from repro.core.params import DecoderParams, SpinalParams

@@ -7,7 +7,6 @@ front-ends could reach, and sanity-check it against the full-strength
 B=256 software configuration (the hardware's tiny beam costs rate).
 """
 
-from repro.channels import awgn_capacity
 from repro.core.params import DecoderParams, SpinalParams
 from repro.simulation import SpinalScheme, measure_scheme
 from repro.utils.results import ExperimentResult

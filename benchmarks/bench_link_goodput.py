@@ -1,0 +1,118 @@
+"""E-link — oracle code rate vs. framed link goodput across SNR (§5, §8.4).
+
+The §8.1 rate curves charge no protocol cost: success is oracle-judged and
+feedback is free.  This bench quantifies what the *protocol* costs at each
+SNR by running the same code three ways:
+
+- ``oracle session``: :class:`SpinalSession` rate (the paper's metric);
+- ``framed link``: CRC-framed ARQ goodput with ideal (zero-delay) feedback
+  — isolates the §6 framing overhead (CRC-16 + padding);
+- ``framed + delay``: the same with a feedback latency in symbol times —
+  adds §8.4's wasted-symbols overhead.
+
+Link points run through the multiprocessing batch runner (one job per SNR
+point), so this bench also exercises the sharded execution path.  Output:
+CSV series plus machine-readable ``BENCH_link_goodput.json``.
+"""
+
+from repro.core.params import DecoderParams, SpinalParams
+from repro.link import LinkConfig, LinkJob, run_batch
+from repro.simulation import measure_spinal_rate
+from repro.utils.results import ExperimentResult
+
+from _common import awgn_factory, finish, run_once, scale, snr_grid, write_json
+
+FEEDBACK_DELAY = 256  # symbol times; a LAN-ish RTT at short symbol periods
+
+
+def _run():
+    snrs = snr_grid(5, 25, quick_step=5.0)
+    n_packets = scale(3, 8)
+    payload_bytes = scale(16, 64)
+    params = SpinalParams()
+    dec = DecoderParams(B=64, max_passes=32)
+
+    # Paper-standard reference curve (independent seeds; plotted only).
+    reference = {}
+    for i, snr in enumerate(snrs):
+        m = measure_spinal_rate(
+            params, dec, payload_bytes * 8,
+            channel_factory=awgn_factory(snr), snr_db=snr,
+            n_messages=n_packets, seed=300 + i,
+        )
+        reference[snr] = m.rate
+
+    # The three batches share per-point seeds, so the oracle-mode jobs see
+    # the same payload bytes and channel RNG stream as the framed jobs —
+    # the comparison isolates protocol overhead, not sampling noise.
+    def jobs_for(config, tag):
+        return [
+            LinkJob(job_id=f"{tag}_snr{snr:g}", seed=500 + 17 * i,
+                    snr_db=snr, n_packets=n_packets,
+                    payload_bytes=payload_bytes, params=params,
+                    decoder_params=dec, config=config)
+            for i, snr in enumerate(snrs)
+        ]
+
+    oracle = run_batch(jobs_for(LinkConfig(framing=False), "oracle"))
+    framed = run_batch(jobs_for(LinkConfig(max_block_bits=512), "framed"))
+    delayed = run_batch(jobs_for(
+        LinkConfig(max_block_bits=512, feedback_delay=FEEDBACK_DELAY),
+        "delayed"))
+    return snrs, reference, oracle, framed, delayed
+
+
+def _sweep_goodput(batch):
+    """Aggregate goodput across a whole SNR sweep (bits / symbols)."""
+    bits = sum(r["payload_bits_delivered"] for r in batch)
+    symbols = sum(r["symbols"] for r in batch)
+    return bits / symbols if symbols else 0.0
+
+
+def test_bench_link_goodput(benchmark):
+    snrs, reference, oracle, framed, delayed = run_once(benchmark, _run)
+
+    result = ExperimentResult(
+        "link_goodput", "Oracle rate vs framed link goodput",
+        "snr_db", "bits_per_symbol")
+    s_ref = result.new_series("oracle session (paper metric)")
+    s_oracle = result.new_series("oracle link (shared seeds)")
+    s_framed = result.new_series("framed link")
+    s_delay = result.new_series(f"framed + {FEEDBACK_DELAY}-symbol feedback")
+    for snr, o, f, d in zip(snrs, oracle, framed, delayed):
+        s_ref.add(snr, reference[snr])
+        s_oracle.add(snr, o["goodput"])
+        s_framed.add(snr, f["goodput"])
+        s_delay.add(snr, d["goodput"])
+    finish(result)
+
+    write_json("BENCH_link_goodput", {
+        "experiment": "link_goodput",
+        "feedback_delay": FEEDBACK_DELAY,
+        "snrs_db": [float(s) for s in snrs],
+        "oracle_session_rate": {f"{s:g}": reference[s] for s in snrs},
+        "oracle": oracle,
+        "framed": framed,
+        "framed_delayed": delayed,
+    })
+
+    for f, d in zip(framed, delayed):
+        if d["n_delivered"] == d["n_packets"] == f["n_delivered"]:
+            # Same seeds: feedback delay only ever removes goodput.
+            assert d["goodput"] <= f["goodput"]
+            assert d["wasted_symbols"] >= f["wasted_symbols"]
+    # Framing overhead is real: over the sweep, CRC+padding must cost
+    # goodput relative to the seed-matched oracle link.
+    assert _sweep_goodput(framed) < _sweep_goodput(oracle)
+    # ... but not implausibly much at these block sizes (sanity bound).
+    assert _sweep_goodput(framed) > 0.5 * _sweep_goodput(oracle)
+    # The protocol must still deliver: goodput grows with SNR overall.
+    assert framed[-1]["goodput"] > framed[0]["goodput"]
+
+
+if __name__ == "__main__":
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, iterations, rounds):
+            return fn()
+    test_bench_link_goodput(_Bench())

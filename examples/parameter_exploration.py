@@ -13,7 +13,6 @@ versus a phone — and prints the smallest prefix each can decode from.
 It also prints the Theorem 1 guarantee for reference.
 """
 
-import numpy as np
 
 from repro import AWGNChannel, BubbleDecoder, DecoderParams, SpinalParams, SpinalEncoder
 from repro.channels.capacity import awgn_capacity

@@ -25,6 +25,7 @@ from repro.channels import (
     AWGNChannel,
     BSCChannel,
     RayleighBlockFadingChannel,
+    SharedChannel,
     awgn_capacity,
     bsc_capacity,
     gap_to_capacity_db,
@@ -38,6 +39,12 @@ from repro.core import (
     ReceivedSymbols,
     SpinalEncoder,
     SpinalParams,
+)
+from repro.link import (
+    Flow,
+    LinkConfig,
+    LinkScheduler,
+    LinkSession,
 )
 from repro.simulation import (
     RateMeasurement,
@@ -61,12 +68,17 @@ __all__ = [
     "AWGNChannel",
     "BSCChannel",
     "RayleighBlockFadingChannel",
+    "SharedChannel",
     "awgn_capacity",
     "bsc_capacity",
     "rayleigh_capacity",
     "gap_to_capacity_db",
     "SpinalSession",
     "SpinalScheme",
+    "LinkConfig",
+    "LinkSession",
+    "LinkScheduler",
+    "Flow",
     "RateMeasurement",
     "measure_scheme",
     "measure_spinal_rate",

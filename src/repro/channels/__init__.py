@@ -4,6 +4,7 @@ from repro.channels.base import Channel, ChannelOutput
 from repro.channels.awgn import AWGNChannel
 from repro.channels.bsc import BSCChannel
 from repro.channels.fading import RayleighBlockFadingChannel
+from repro.channels.shared import SharedChannel
 from repro.channels.capacity import (
     awgn_capacity,
     bsc_capacity,
@@ -19,6 +20,7 @@ __all__ = [
     "AWGNChannel",
     "BSCChannel",
     "RayleighBlockFadingChannel",
+    "SharedChannel",
     "awgn_capacity",
     "bsc_capacity",
     "rayleigh_capacity",

@@ -1,0 +1,62 @@
+"""Shared-medium time model for link-level simulation (paper §5, §8.4).
+
+The paper's protocol reasoning is in *symbol times*: every constellation
+symbol occupies one channel use, feedback comes back after a configurable
+number of symbol times, and when several flows share a medium their
+symbols interleave on a single clock.  :class:`SharedChannel` wraps any
+:class:`~repro.channels.base.Channel` with exactly that bookkeeping:
+
+- a monotone **symbol clock** (``time``) that advances by one per symbol
+  transmitted, and can be advanced explicitly while the medium idles
+  (e.g. a sender with nothing to send waiting out its feedback delay);
+- a **conservation counter** (``symbols_sent``) so multi-flow schedulers
+  can assert that per-flow accounting sums to the channel total.
+
+Because the wrapped channel is driven in strict transmission order, stateful
+models (Rayleigh block fading) evolve correctly across interleaved flows:
+a flow transmitting during another flow's deep fade sees that same fade,
+which is what makes shared-medium scheduling experiments meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel, ChannelOutput
+
+__all__ = ["SharedChannel"]
+
+
+class SharedChannel(Channel):
+    """A channel plus the symbol clock every link-layer entity reads.
+
+    Parameters
+    ----------
+    inner: the physical channel model all traffic passes through.
+    """
+
+    def __init__(self, inner: Channel):
+        self.inner = inner
+        self.complex_valued = inner.complex_valued
+        self.time = 0           # symbol clock (symbol times since start)
+        self.symbols_sent = 0   # total symbols transmitted by all flows
+
+    def transmit(self, symbols: np.ndarray) -> ChannelOutput:
+        """Transmit a block; the clock advances one unit per symbol."""
+        out = self.inner.transmit(symbols)
+        n = int(np.asarray(symbols).size)
+        self.time += n
+        self.symbols_sent += n
+        return out
+
+    def advance(self, dt: int) -> None:
+        """Let the medium idle for ``dt`` symbol times (no symbols sent)."""
+        if dt < 0:
+            raise ValueError("cannot advance the symbol clock backwards")
+        self.time += int(dt)
+
+    def reset(self) -> None:
+        """Reset the clock, the counters, and the wrapped channel."""
+        self.inner.reset()
+        self.time = 0
+        self.symbols_sent = 0

@@ -65,10 +65,11 @@ class Frame:
 class FrameEncoder:
     """Sender side: datagram -> frame -> per-block spinal symbol streams."""
 
-    def __init__(self, params: SpinalParams, max_block_bits: int = 1024):
+    def __init__(self, params: SpinalParams, max_block_bits: int = 1024,
+                 first_sequence: int = 0):
         self.params = params
         self.max_block_bits = max_block_bits
-        self._sequence = 0
+        self._sequence = first_sequence & 0xFF
 
     def frame(self, datagram: bytes) -> Frame:
         """Build the frame for a datagram (splitting, CRC, padding)."""

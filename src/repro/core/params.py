@@ -12,7 +12,7 @@ two tail symbols, 8-way puncturing.  The hardware profile of Appendix B is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.constellation import ConstellationMapping, make_mapping
 from repro.core.hashes import HashFn, get_hash

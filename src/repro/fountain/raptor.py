@@ -145,7 +145,6 @@ class RaptorScheme(RatelessScheme):
         )
         message = rng.integers(0, 2, size=self.k, dtype=np.uint8)
         intermediate = codec.encode_intermediate(message)
-        bps = codec.bits_per_symbol
         max_chunks = max(1, self.max_symbols // self.chunk_symbols)
 
         received: list[np.ndarray] = []

@@ -1,0 +1,150 @@
+"""Link-level performance accounting (paper §8.1, §8.4).
+
+The paper's headline metric is *rate* — message bits per symbol under the
+oracle success test.  At the link layer the honest analogue is **goodput**:
+application payload bits delivered per channel symbol consumed, where the
+denominator includes CRC and padding bits (§6 framing overhead), symbols a
+give-up burned, and symbols the sender wasted because the ACK was still in
+flight (§8.4 feedback delay).  Latency is reported in symbol times on the
+shared clock, which converts to wall time by the symbol period of whatever
+PHY carries the link.
+
+Everything here is a plain fold over :class:`~repro.link.protocol.
+PacketResult` records, and every summary renders to JSON-safe dicts so the
+batch runner and the benchmark harness can persist machine-readable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.link.protocol import PacketResult
+
+__all__ = ["FlowStats", "LinkReport"]
+
+_PCTS = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class FlowStats:
+    """Aggregated outcomes of one flow's packets."""
+
+    flow: str
+    results: list[PacketResult] = field(default_factory=list)
+
+    def add(self, result: PacketResult) -> None:
+        self.results.append(result)
+
+    # -- counters ---------------------------------------------------------
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_delivered(self) -> int:
+        return sum(r.success for r in self.results)
+
+    @property
+    def payload_bits_offered(self) -> int:
+        return sum(r.payload_bits for r in self.results)
+
+    @property
+    def payload_bits_delivered(self) -> int:
+        return sum(r.payload_bits for r in self.results if r.success)
+
+    @property
+    def symbols(self) -> int:
+        """Channel symbols this flow consumed (including waste)."""
+        return sum(r.symbols for r in self.results)
+
+    @property
+    def wasted_symbols(self) -> int:
+        return sum(r.wasted_symbols for r in self.results)
+
+    @property
+    def retransmissions(self) -> int:
+        return sum(r.retransmissions for r in self.results)
+
+    # -- derived metrics --------------------------------------------------
+
+    @property
+    def goodput(self) -> float:
+        """Delivered payload bits per channel symbol consumed."""
+        if self.symbols == 0:
+            return 0.0
+        return self.payload_bits_delivered / self.symbols
+
+    @property
+    def framing_overhead(self) -> float:
+        """Fraction of coded bits that are CRC/padding rather than payload."""
+        coded = sum(r.coded_bits for r in self.results)
+        if coded == 0:
+            return 0.0
+        return 1.0 - self.payload_bits_offered / coded
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (symbol times) over delivered packets."""
+        lats = [r.latency for r in self.results if r.success]
+        if not lats:
+            return float("nan")
+        return float(np.percentile(lats, q))
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (stable key order for byte-identical dumps)."""
+        out = {
+            "flow": self.flow,
+            "n_packets": self.n_packets,
+            "n_delivered": self.n_delivered,
+            "payload_bits_delivered": self.payload_bits_delivered,
+            "symbols": self.symbols,
+            "wasted_symbols": self.wasted_symbols,
+            "retransmissions": self.retransmissions,
+            "goodput": round(self.goodput, 9),
+            "framing_overhead": round(self.framing_overhead, 9),
+        }
+        for q in _PCTS:
+            val = self.latency_percentile(q)
+            out[f"latency_p{int(q)}"] = None if np.isnan(val) else round(val, 3)
+        return out
+
+
+@dataclass
+class LinkReport:
+    """Per-flow plus whole-medium view of one link simulation."""
+
+    flows: list[FlowStats]
+    channel_symbols: int    # total symbols the shared channel carried
+    channel_time: int       # final value of the symbol clock
+
+    def flow(self, name: str) -> FlowStats:
+        for f in self.flows:
+            if f.flow == name:
+                return f
+        raise KeyError(name)
+
+    @property
+    def delivered_bits(self) -> int:
+        return sum(f.payload_bits_delivered for f in self.flows)
+
+    @property
+    def aggregate_goodput(self) -> float:
+        """All flows' delivered payload bits per channel symbol."""
+        if self.channel_symbols == 0:
+            return 0.0
+        return self.delivered_bits / self.channel_symbols
+
+    def conservation_ok(self) -> bool:
+        """Per-flow symbol accounting must sum to the channel total."""
+        return sum(f.symbols for f in self.flows) == self.channel_symbols
+
+    def as_dict(self) -> dict:
+        return {
+            "aggregate_goodput": round(self.aggregate_goodput, 9),
+            "channel_symbols": self.channel_symbols,
+            "channel_time": self.channel_time,
+            "delivered_bits": self.delivered_bits,
+            "flows": [f.as_dict() for f in self.flows],
+        }

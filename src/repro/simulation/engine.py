@@ -23,16 +23,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channels.base import Channel
+from repro.channels.base import Channel, ChannelOutput
 from repro.core.decoder import BubbleDecoder
 from repro.core.encoder import SpinalEncoder
 from repro.core.params import DecoderParams, SpinalParams
 from repro.core.symbols import ReceivedSymbols
 
-__all__ = ["SpinalSession", "SessionResult"]
+__all__ = ["SpinalSession", "SessionResult", "csi_mode", "received_view"]
 
 
-def _csi_mode(give_csi: bool | str) -> str:
+def csi_mode(give_csi: bool | str) -> str:
     """Normalise the CSI knob: True -> 'full', False -> 'none'."""
     if give_csi is True:
         return "full"
@@ -41,6 +41,26 @@ def _csi_mode(give_csi: bool | str) -> str:
     if give_csi in ("full", "phase", "none"):
         return give_csi
     raise ValueError(f"unknown CSI mode {give_csi!r}")
+
+
+def received_view(out: ChannelOutput, mode: str) -> tuple[np.ndarray, np.ndarray | None]:
+    """What the receiver actually sees under a CSI policy.
+
+    Returns ``(values, csi)``: with ``"full"`` CSI the decoder is shown the
+    exact per-symbol coefficients (Figure 8-4); with ``"phase"`` the carrier
+    is recovered (derotation) but amplitude stays unknown (Figure 8-5); with
+    ``"none"`` the raw observations are decoded as plain AWGN.  Shared by the
+    single-message engine and the packet link layer so both receivers treat
+    fading identically.
+    """
+    values, csi = out.values, None
+    if out.csi is not None:
+        if mode == "full":
+            csi = out.csi
+        elif mode == "phase":
+            # Carrier recovery: derotate, stay blind to |h|.
+            values = values * np.exp(-1j * np.angle(out.csi))
+    return values, csi
 
 
 @dataclass
@@ -93,7 +113,7 @@ class SpinalSession:
         self.dec = decoder_params
         self.message_bits = np.asarray(message_bits, dtype=np.uint8)
         self.channel = channel
-        self.csi_mode = _csi_mode(give_csi)
+        self.csi_mode = csi_mode(give_csi)
         if probe_growth < 1.0:
             raise ValueError("probe_growth must be >= 1")
         self.probe_growth = probe_growth
@@ -111,13 +131,7 @@ class SpinalSession:
             g = len(self._blocks)
             block = self.encoder.generate(g)
             out = self.channel.transmit(block.values)
-            values, csi = out.values, None
-            if out.csi is not None:
-                if self.csi_mode == "full":
-                    csi = out.csi
-                elif self.csi_mode == "phase":
-                    # Carrier recovery: derotate, stay blind to |h|.
-                    values = values * np.exp(-1j * np.angle(out.csi))
+            values, csi = received_view(out, self.csi_mode)
             self._blocks.append((block, values, csi))
 
     def _symbols_in(self, n_subpasses: int) -> int:

@@ -230,14 +230,14 @@ class StriderScheme(RatelessScheme):
         give_csi: bool | str = False,
         label: str | None = None,
     ):
-        from repro.simulation.engine import _csi_mode
+        from repro.simulation.engine import csi_mode
 
         self.n_bits = n_bits
         self.n_layers = n_layers
         self.subpasses_per_pass = subpasses_per_pass
         self.max_passes = max_passes
         self.iterations = iterations
-        self.csi_mode = _csi_mode(give_csi)
+        self.csi_mode = csi_mode(give_csi)
         suffix = "+" if subpasses_per_pass > 1 else ""
         self.name = label or f"strider{suffix} n={n_bits} G={n_layers}"
 

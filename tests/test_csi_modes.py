@@ -5,29 +5,28 @@
 ``none`` = raw observations treated as AWGN.
 """
 
-import numpy as np
 import pytest
 
 from repro.channels import AWGNChannel, RayleighBlockFadingChannel
 from repro.core.params import DecoderParams, SpinalParams
 from repro.simulation import SpinalSession
-from repro.simulation.engine import _csi_mode
+from repro.simulation.engine import csi_mode
 from repro.strider import StriderScheme
 from repro.utils.bitops import random_message
 
 
 class TestCsiModeParsing:
     def test_bool_mapping(self):
-        assert _csi_mode(True) == "full"
-        assert _csi_mode(False) == "none"
+        assert csi_mode(True) == "full"
+        assert csi_mode(False) == "none"
 
     def test_strings_pass_through(self):
         for mode in ("full", "phase", "none"):
-            assert _csi_mode(mode) == mode
+            assert csi_mode(mode) == mode
 
     def test_rejects_unknown(self):
         with pytest.raises(ValueError):
-            _csi_mode("genie")
+            csi_mode("genie")
 
 
 class TestSpinalCsiModes:

@@ -1,6 +1,5 @@
 """Tests for the rateless execution engine (§8.1)."""
 
-import numpy as np
 import pytest
 
 from repro.channels import AWGNChannel, BSCChannel, RayleighBlockFadingChannel
@@ -8,7 +7,6 @@ from repro.core.params import DecoderParams, SpinalParams
 from repro.simulation import (
     SpinalScheme,
     SpinalSession,
-    measure_scheme,
     measure_spinal_rate,
     snr_sweep,
 )
@@ -68,6 +66,26 @@ class TestSpinalSession:
         result = session.run_fixed_rate(n_passes=2)
         assert result.success
         assert result.n_attempts == 1
+
+    def test_fixed_rate_symbol_accounting(self, params, dec):
+        """Fixed-rate mode consumes exactly L passes' worth of symbols."""
+        msg = random_message(128, 8)
+        session = SpinalSession(params, dec, msg, AWGNChannel(20, rng=9))
+        result = session.run_fixed_rate(n_passes=3)
+        per_pass = session.encoder.symbols_per_pass()
+        assert result.n_symbols == 3 * per_pass
+        assert result.n_subpasses == 3 * session.encoder.subpasses_per_pass
+        assert result.rate == pytest.approx(128 / (3 * per_pass))
+
+    def test_fixed_rate_failure_keeps_symbols(self, params, dec):
+        """An undecodable fixed-rate shot still charges its symbols."""
+        msg = random_message(256, 12)
+        session = SpinalSession(params, dec, msg, AWGNChannel(-10, rng=13))
+        result = session.run_fixed_rate(n_passes=1)
+        assert not result.success
+        assert result.n_attempts == 1
+        assert result.rate == 0.0
+        assert result.n_symbols == session.encoder.symbols_per_pass()
 
     def test_bsc_session(self):
         params = SpinalParams.bsc()

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.channels.awgn import AWGNChannel
 from repro.ldpc import (
     BeliefPropagation,
-    LdpcCode,
     gf2_rank,
     gf2_rref,
     generator_from_parity,

@@ -1,0 +1,254 @@
+"""Tests for the packet-level link layer (§5, §6, §8.4)."""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel, RayleighBlockFadingChannel, SharedChannel
+from repro.core.params import DecoderParams, SpinalParams
+from repro.link import (
+    Flow,
+    LinkConfig,
+    LinkJob,
+    LinkScheduler,
+    LinkSession,
+    payload_for,
+    results_json,
+    run_batch,
+    run_job,
+)
+from repro.simulation import SpinalSession
+from repro.utils.bitops import random_message
+
+
+@pytest.fixture
+def params():
+    return SpinalParams()
+
+
+@pytest.fixture
+def dec():
+    return DecoderParams(B=32, max_passes=16)
+
+
+class TestLinkSessionOracle:
+    def test_matches_spinal_session(self, params, dec):
+        """Zero feedback delay + no framing == the oracle engine, exactly:
+        same minimal subpass count and same symbol count per packet."""
+        cfg = LinkConfig(framing=False, feedback_delay=0)
+        for seed in range(4):
+            msg = random_message(96, seed)
+            engine = SpinalSession(params, dec, msg,
+                                   AWGNChannel(12, rng=seed)).run()
+            link = LinkSession(params, dec, AWGNChannel(12, rng=seed), cfg)
+            packet = link.send_packet(msg)
+            assert engine.success and packet.success
+            assert packet.n_subpasses == engine.n_subpasses
+            assert packet.symbols == engine.n_symbols
+            assert packet.wasted_symbols == 0
+            assert packet.goodput == pytest.approx(engine.rate)
+
+    def test_feedback_delay_charges_waste(self, params, dec):
+        """§8.4: symbols sent while the ACK is in flight are pure waste."""
+        msg = random_message(96, 0)
+        base = LinkSession(params, dec, AWGNChannel(12, rng=0),
+                           LinkConfig(framing=False)).send_packet(msg)
+        delayed = LinkSession(params, dec, AWGNChannel(12, rng=0),
+                              LinkConfig(framing=False, feedback_delay=50)
+                              ).send_packet(msg)
+        assert delayed.success
+        assert delayed.wasted_symbols > 0
+        assert delayed.symbols == base.symbols + delayed.wasted_symbols
+        assert delayed.latency > base.latency
+        assert delayed.goodput < base.goodput
+
+    def test_give_up_packet(self, params):
+        """A hopeless channel burns max_passes of symbols, delivers zero."""
+        dec = DecoderParams(B=4, max_passes=2)
+        link = LinkSession(params, dec, AWGNChannel(-15, rng=1),
+                           LinkConfig(framing=False))
+        packet = link.send_packet(random_message(128, 1))
+        assert not packet.success
+        assert packet.goodput == 0.0
+        assert packet.n_subpasses == 2 * 8
+
+    def test_delayed_ack_beats_give_up(self, params, dec):
+        """An ACK still in flight when the sender runs out of subpasses
+        must land (success), not be dropped as a give-up."""
+        msg = random_message(96, 2)
+        probe = LinkSession(params, dec, AWGNChannel(12, rng=2),
+                            LinkConfig(framing=False)).send_packet(msg)
+        tight = DecoderParams(B=32, max_passes=-(-probe.n_subpasses // 8))
+        link = LinkSession(params, tight, AWGNChannel(12, rng=2),
+                           LinkConfig(framing=False, feedback_delay=10_000))
+        packet = link.send_packet(msg)
+        assert packet.success
+        assert packet.latency >= 10_000
+
+
+class TestLinkSessionFramed:
+    def test_roundtrip_and_overhead(self, params, dec):
+        """Framed delivery succeeds and pays real CRC+padding overhead."""
+        link = LinkSession(params, dec, AWGNChannel(18, rng=3),
+                           LinkConfig(max_block_bits=256))
+        packet = link.send_packet(bytes(range(40)))
+        assert packet.success
+        assert packet.n_blocks == 2          # 320 payload bits, 240 per block
+        assert packet.coded_bits > packet.payload_bits
+        assert packet.payload_bits == 320
+
+    def test_empty_datagram_is_trivially_delivered(self, params, dec):
+        link = LinkSession(params, dec, AWGNChannel(10, rng=0))
+        packet = link.send_packet(b"")
+        assert packet.success
+        assert packet.symbols == 0 and packet.n_blocks == 0
+        assert packet.latency == 0
+
+    def test_sequential_packets_share_channel(self, params, dec):
+        """Packets run back-to-back on one stateful medium."""
+        channel = SharedChannel(
+            RayleighBlockFadingChannel(20, coherence_time=10, rng=4))
+        link = LinkSession(params, dec, channel,
+                           LinkConfig(max_block_bits=256, give_csi=True))
+        results = link.run([bytes(range(24)), bytes(range(24))])
+        assert [r.seq for r in results] == [0, 1]
+        assert channel.symbols_sent == sum(r.symbols for r in results)
+        assert results[1].start_time >= results[0].finish_time
+
+
+class TestScheduler:
+    def _flows(self, params, dec):
+        cfg = LinkConfig(max_block_bits=256)
+        return [
+            Flow("voip", params, dec, [bytes(range(12))] * 3, cfg, priority=1),
+            Flow("bulk", params, dec, [bytes(range(64))], cfg, priority=0),
+        ]
+
+    def test_multiflow_conservation(self, params, dec):
+        """Sum of per-flow symbols == symbols the channel carried."""
+        for policy in ("round_robin", "priority"):
+            sched = LinkScheduler(AWGNChannel(18, rng=5),
+                                  self._flows(params, dec), policy=policy)
+            report = sched.run()
+            assert report.conservation_ok()
+            assert sum(f.symbols for f in report.flows) == report.channel_symbols
+            for f in report.flows:
+                assert f.n_delivered == f.n_packets
+            assert report.aggregate_goodput > 0
+
+    def test_priority_preempts_bulk(self, params, dec):
+        """Strict priority finishes all VoIP packets before bulk's first."""
+        sched = LinkScheduler(AWGNChannel(18, rng=6),
+                              self._flows(params, dec), policy="priority")
+        report = sched.run()
+        voip_done = max(r.finish_time for r in report.flow("voip").results)
+        bulk_done = min(r.finish_time for r in report.flow("bulk").results)
+        assert voip_done < bulk_done
+
+    def test_priority_latency_no_worse_than_round_robin(self, params, dec):
+        rr = LinkScheduler(AWGNChannel(18, rng=7),
+                           self._flows(params, dec), "round_robin").run()
+        pr = LinkScheduler(AWGNChannel(18, rng=7),
+                           self._flows(params, dec), "priority").run()
+        assert (pr.flow("voip").latency_percentile(90)
+                <= rr.flow("voip").latency_percentile(90))
+
+    def test_shared_fading_medium(self, params, dec):
+        """Flows interleave on one fading process; accounting still exact."""
+        channel = RayleighBlockFadingChannel(22, coherence_time=50, rng=8)
+        cfg = LinkConfig(max_block_bits=256, give_csi=True, feedback_delay=16)
+        flows = [
+            Flow("a", params, dec, [bytes(range(16))] * 2, cfg),
+            Flow("b", params, dec, [bytes(range(16))] * 2, cfg),
+        ]
+        report = LinkScheduler(channel, flows).run()
+        assert report.conservation_ok()
+        assert report.channel_time >= report.channel_symbols
+
+    def test_rejects_bad_inputs(self, params, dec):
+        with pytest.raises(ValueError):
+            LinkScheduler(AWGNChannel(10, rng=0),
+                          self._flows(params, dec), policy="edf")
+        with pytest.raises(ValueError):
+            LinkScheduler(AWGNChannel(10, rng=0), [])
+
+    def test_max_time_cutoff_keeps_accounting(self, params, dec):
+        sched = LinkScheduler(AWGNChannel(6, rng=9),
+                              self._flows(params, dec))
+        report = sched.run(max_time=64)
+        assert report.conservation_ok()
+        assert sum(f.n_packets for f in report.flows) >= 1
+
+
+class TestRunner:
+    def _jobs(self, dec, n=4):
+        return [
+            LinkJob(job_id=f"job{i}", seed=100 + i, snr_db=15.0,
+                    n_packets=2, payload_bytes=12, decoder_params=dec,
+                    config=LinkConfig(max_block_bits=256))
+            for i in range(n)
+        ]
+
+    def test_serial_vs_parallel_byte_identical(self, dec):
+        """The acceptance criterion: worker count never changes results."""
+        jobs = self._jobs(dec)
+        serial = results_json(run_batch(jobs, n_workers=1))
+        two = results_json(run_batch(jobs, n_workers=2))
+        assert serial == two
+
+    def test_results_in_job_order_and_json_safe(self, dec):
+        jobs = self._jobs(dec, n=3)
+        results = run_batch(jobs, n_workers=1)
+        assert [r["job_id"] for r in results] == ["job0", "job1", "job2"]
+        assert results_json(results)  # serialisable without custom encoders
+
+    def test_oracle_job_mode(self, dec):
+        job = LinkJob(job_id="oracle", seed=7, snr_db=15.0, n_packets=2,
+                      payload_bytes=12, decoder_params=dec,
+                      config=LinkConfig(framing=False))
+        out = run_job(job)
+        assert out["n_delivered"] == 2
+        assert out["framing_overhead"] == 0.0
+
+    def test_rayleigh_job(self, dec):
+        job = LinkJob(job_id="fade", seed=8, snr_db=22.0, n_packets=1,
+                      payload_bytes=12, decoder_params=dec,
+                      config=LinkConfig(max_block_bits=256, give_csi=True),
+                      channel="rayleigh", coherence_time=20)
+        out = run_job(job)
+        assert out["channel"] == "rayleigh"
+        assert out["n_packets"] == 1
+
+    def test_unknown_channel_kind(self, dec):
+        job = LinkJob(job_id="x", seed=0, snr_db=10.0,
+                      decoder_params=dec, channel="laser")
+        with pytest.raises(ValueError):
+            run_job(job)
+
+
+class TestStatsAndHelpers:
+    def test_payload_for_types(self):
+        rng = np.random.default_rng(0)
+        framed = payload_for(LinkConfig(), rng, 10)
+        assert isinstance(framed, bytes) and len(framed) == 10
+        bits = payload_for(LinkConfig(framing=False), rng, 10, k=3)
+        assert bits.dtype == np.uint8 and bits.size % 3 == 0
+
+    def test_latency_percentiles(self, params, dec):
+        link = LinkSession(params, dec, AWGNChannel(18, rng=10),
+                           LinkConfig(max_block_bits=256))
+        results = link.run([bytes(range(12))] * 4)
+        from repro.link import FlowStats
+        stats = FlowStats("f")
+        for r in results:
+            stats.add(r)
+        p50 = stats.latency_percentile(50)
+        p99 = stats.latency_percentile(99)
+        assert 0 < p50 <= p99
+        d = stats.as_dict()
+        assert d["latency_p50"] == pytest.approx(p50, abs=1e-3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig(feedback_delay=-1)
+        with pytest.raises(ValueError):
+            LinkConfig(decode_interval=0)

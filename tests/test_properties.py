@@ -27,14 +27,22 @@ configs = st.fixed_dictionaries({
 
 
 @given(configs, st.integers(0, 10_000))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25, deadline=None, derandomize=True)
 def test_noiseless_roundtrip_any_config(cfg, seed):
-    """Every legal parameter set decodes its own noiseless transmission."""
+    """Every legal parameter set decodes its own noiseless transmission.
+
+    Each pass shows the decoder 2c coded bits per spine value against k
+    unknown message bits, so at small c a two-pass prefix can genuinely
+    collide between two messages (path cost 0 for both) — a property of
+    the code, not a decoder defect.  Send enough passes for a comfortable
+    information margin, and derandomize so CI sees a fixed example set.
+    """
     params = SpinalParams(**cfg)
     n_bits = 8 * cfg["k"]  # 8 spine values
     msg = random_message(n_bits, seed)
     enc = SpinalEncoder(params, msg)
-    block = enc.generate_passes(2)
+    n_passes = max(2, -(-(cfg["k"] + 8) // (2 * cfg["c"])))
+    block = enc.generate_passes(n_passes)
     store = ReceivedSymbols(enc.n_spine)
     store.add_block(block.spine_indices, block.slots, block.values)
     dec = BubbleDecoder(params, DecoderParams(B=32, d=1), n_bits)

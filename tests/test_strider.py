@@ -134,7 +134,6 @@ class TestStriderCodec:
 
     def test_unit_transmit_power(self):
         codec = StriderCodec(n_bits=480, n_layers=4, max_passes=8)
-        rng = np.random.default_rng(0)
         layers = codec.encode_layers(random_message(480, 1))
         x = codec.pass_symbols(layers, 0)
         assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=0.1)
