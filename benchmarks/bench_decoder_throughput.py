@@ -1,0 +1,192 @@
+"""Decode hot-path throughput: batched cohorts vs the scalar loops.
+
+Measures messages/second through the full rateless Monte-Carlo loop
+(encode, i.i.d. AWGN, probe + bisect decode) for three engines:
+
+- ``scalar_rebuild`` — the pre-batching hot path: one message at a time,
+  rebuilding the received-symbol store from per-symbol Python lists on
+  every decode attempt (faithful re-implementation, kept here as the
+  regression baseline);
+- ``scalar`` — the current scalar engine: one incremental columnar store
+  per session, prefix-view decode attempts;
+- ``batch`` — ``measure_scheme(batch_size=...)``: whole cohorts decoded by
+  the vectorised batch bubble decoder.
+
+All three produce the *same* :class:`RateMeasurement` (asserted), so this
+is a pure speed comparison.  Note the scalar store rewrite is roughly
+speed-neutral on its own (decode arithmetic dominates a scalar session);
+its payoff is the checkpointed prefix views the batch pipeline is built
+on, which is where the required >= 3x comes from.  Writes ``bench_results/
+BENCH_decoder_throughput.json`` including the speedup of the batch path
+over the pre-batching baseline; CI runs ``--quick`` and uploads the JSON
+so decode-path regressions are visible per PR.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.channels import AWGNChannel
+from repro.core.decoder import BubbleDecoder
+from repro.core.encoder import SpinalEncoder
+from repro.core.params import DecoderParams, SpinalParams
+from repro.simulation import SpinalScheme, measure_scheme
+from repro.simulation.engine import probe_schedule
+from repro.utils.bitops import random_message
+
+from _common import write_json
+
+
+class _ListStore:
+    """The seed repo's ReceivedSymbols: per-symbol Python list appends."""
+
+    def __init__(self, n_spine):
+        self.n_spine = n_spine
+        self._slots = [[] for _ in range(n_spine)]
+        self._values = [[] for _ in range(n_spine)]
+        self._count = 0
+
+    @property
+    def n_symbols(self):
+        return self._count
+
+    def add_block(self, spine_indices, slots, values):
+        for j in range(values.size):
+            i = int(spine_indices[j])
+            self._slots[i].append(int(slots[j]))
+            self._values[i].append(values[j])
+        self._count += values.size
+
+    def for_spine(self, i):
+        return (
+            np.asarray(self._slots[i], dtype=np.uint32),
+            np.asarray(self._values[i], dtype=np.complex128),
+            None,
+        )
+
+
+def _legacy_run_message(params, dec, message, channel, probe_growth):
+    """Pre-batching session: rebuild the whole store on every attempt."""
+    encoder = SpinalEncoder(params, message)
+    decoder = BubbleDecoder(params, dec, message.size)
+    blocks = []
+
+    def ensure(count):
+        while len(blocks) < count:
+            block = encoder.generate(len(blocks))
+            blocks.append((block, channel.transmit(block.values).values))
+
+    def attempt(n):
+        ensure(n)
+        store = _ListStore(encoder.n_spine)
+        for block, values in blocks[:n]:
+            store.add_block(block.spine_indices, block.slots, values)
+        return decoder.decode(store).matches(message)
+
+    w = encoder.subpasses_per_pass
+    max_subpasses = dec.max_passes * w
+    lo, hi = 0, None
+    for g in probe_schedule(probe_growth, max_subpasses):
+        if attempt(g):
+            hi = g
+            break
+        lo = g
+    if hi is None:
+        ensure(max_subpasses)
+        return 0, sum(len(b[0]) for b in blocks)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if attempt(mid):
+            hi = mid
+        else:
+            lo = mid
+    return message.size, sum(len(b[0]) for b in blocks[:hi])
+
+
+def _measure_legacy(params, dec, n_bits, snr_db, n_messages, seed, probe_growth):
+    """The pre-batching measure_scheme loop, with identical seeding."""
+    master = np.random.default_rng(seed)
+    total_bits = total_symbols = n_success = 0
+    for _ in range(n_messages):
+        rng = np.random.default_rng(master.integers(0, 2**63))
+        channel = AWGNChannel(snr_db, rng=rng)
+        message = random_message(n_bits, rng)
+        bits, symbols = _legacy_run_message(
+            params, dec, message, channel, probe_growth)
+        total_bits += bits
+        total_symbols += symbols
+        n_success += bits > 0
+    return total_bits, total_symbols, n_success
+
+
+def run(quick: bool) -> dict:
+    n_messages = 48 if quick else 192
+    batch_size = 48
+    n_bits, snr_db, seed, probe_growth = 128, 8.0, 0, 1.5
+    params = SpinalParams()
+    dec = DecoderParams(B=64, max_passes=16)
+    scheme = SpinalScheme(params, dec, n_bits, probe_growth=probe_growth)
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        out = fn()
+        return out, time.perf_counter() - t0
+
+    legacy, t_legacy = timed(lambda: _measure_legacy(
+        params, dec, n_bits, snr_db, n_messages, seed, probe_growth))
+    scalar, t_scalar = timed(lambda: measure_scheme(
+        scheme, lambda rng: AWGNChannel(snr_db, rng=rng), snr_db,
+        n_messages, seed=seed))
+    batch, t_batch = timed(lambda: measure_scheme(
+        scheme, lambda rng: AWGNChannel(snr_db, rng=rng), snr_db,
+        n_messages, seed=seed, batch_size=batch_size))
+
+    # All three engines are the same measurement — only speed may differ.
+    assert legacy == (batch.total_bits, batch.total_symbols, batch.n_success)
+    assert scalar == batch
+
+    payload = {
+        "config": {
+            "n_bits": n_bits, "snr_db": snr_db, "B": dec.B,
+            "max_passes": dec.max_passes, "probe_growth": probe_growth,
+            "n_messages": n_messages, "batch_size": batch_size,
+            "profile": "quick" if quick else "full",
+        },
+        "rate_bits_per_symbol": round(batch.rate, 9),
+        "scalar_rebuild_msgs_per_sec": round(n_messages / t_legacy, 3),
+        "scalar_msgs_per_sec": round(n_messages / t_scalar, 3),
+        "batch_msgs_per_sec": round(n_messages / t_batch, 3),
+        "speedup_batch_vs_scalar_rebuild": round(t_legacy / t_batch, 3),
+        "speedup_batch_vs_scalar": round(t_scalar / t_batch, 3),
+        "speedup_scalar_vs_scalar_rebuild": round(t_legacy / t_scalar, 3),
+    }
+    return payload
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small message count (the CI smoke profile)")
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="fail below this batch-vs-rebuild ratio (CI uses a "
+                         "lower bar to absorb shared-runner timing noise)")
+    args = ap.parse_args(argv)
+
+    payload = run(quick=args.quick)
+    for key, value in payload.items():
+        print(f"{key}: {value}")
+    write_json("BENCH_decoder_throughput", payload)
+
+    speedup = payload["speedup_batch_vs_scalar_rebuild"]
+    if speedup < args.min_speedup:
+        print(f"FAIL: batch speedup {speedup}x < {args.min_speedup}x "
+              "over the pre-batch loop")
+        return 1
+    print(f"ok: batch path {speedup}x over the per-attempt-rebuild loop")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,8 @@ from repro.channels import (
     rayleigh_capacity,
 )
 from repro.core import (
+    BatchBubbleDecoder,
+    BatchSpinalEncoder,
     BubbleDecoder,
     DecoderParams,
     FrameDecoder,
@@ -47,6 +49,7 @@ from repro.link import (
     LinkSession,
 )
 from repro.simulation import (
+    BatchSession,
     RateMeasurement,
     SpinalScheme,
     SpinalSession,
@@ -61,7 +64,9 @@ __all__ = [
     "SpinalParams",
     "DecoderParams",
     "SpinalEncoder",
+    "BatchSpinalEncoder",
     "BubbleDecoder",
+    "BatchBubbleDecoder",
     "ReceivedSymbols",
     "FrameEncoder",
     "FrameDecoder",
@@ -74,6 +79,7 @@ __all__ = [
     "rayleigh_capacity",
     "gap_to_capacity_db",
     "SpinalSession",
+    "BatchSession",
     "SpinalScheme",
     "LinkConfig",
     "LinkSession",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Channel", "ChannelOutput"]
+__all__ = ["Channel", "ChannelOutput", "transmit_batch"]
 
 
 @dataclass
@@ -35,6 +35,12 @@ class Channel:
     #: True when inputs/outputs live on the I-Q plane.
     complex_valued = True
 
+    #: True when the channel draws each output independently of earlier
+    #: blocks (AWGN, BSC).  Stateful models (block fading, the shared-medium
+    #: clock) set this False, which routes batched Monte-Carlo paths back to
+    #: the scalar engine.
+    memoryless = True
+
     def transmit(self, symbols: np.ndarray) -> ChannelOutput:
         raise NotImplementedError
 
@@ -43,3 +49,24 @@ class Channel:
 
     def reset(self) -> None:
         """Clear any cross-block state (default: nothing to clear)."""
+
+
+def transmit_batch(
+    channels: list[Channel], values: np.ndarray
+) -> np.ndarray:
+    """Transmit row ``m`` of ``values`` through ``channels[m]``.
+
+    Each message keeps its *own* channel (and noise generator), so the draws
+    are exactly the ones the scalar path would make for that message — the
+    invariant the batched Monte-Carlo engine's bit-identical guarantee rests
+    on.  Channel-reported CSI is dropped, exactly as the scalar receiver's
+    "none" CSI policy does; callers that want the decoder to *see* CSI must
+    use the scalar path (the batched branch-cost kernel does not carry it).
+    """
+    if len(channels) != values.shape[0]:
+        raise ValueError("one channel per message row required")
+    out = np.empty(values.shape, dtype=np.float64
+                   if not channels[0].complex_valued else np.complex128)
+    for m, channel in enumerate(channels):
+        out[m] = channel.transmit(values[m]).values
+    return out

@@ -29,6 +29,7 @@ class RayleighBlockFadingChannel(Channel):
     """
 
     complex_valued = True
+    memoryless = False  # the coherence block persists across transmit calls
 
     def __init__(
         self,

@@ -35,6 +35,8 @@ class SharedChannel(Channel):
     inner: the physical channel model all traffic passes through.
     """
 
+    memoryless = False  # the symbol clock is shared state
+
     def __init__(self, inner: Channel):
         self.inner = inner
         self.complex_valued = inner.complex_valued

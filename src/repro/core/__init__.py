@@ -24,9 +24,9 @@ from repro.core.puncturing import (
     StridedPuncturing,
     make_schedule,
 )
-from repro.core.encoder import SpinalEncoder
-from repro.core.symbols import ReceivedSymbols
-from repro.core.decoder import BubbleDecoder, DecodeResult
+from repro.core.encoder import BatchSpinalEncoder, SpinalEncoder
+from repro.core.symbols import BatchReceivedSymbols, ReceivedSymbols
+from repro.core.decoder import BatchBubbleDecoder, BubbleDecoder, DecodeResult
 from repro.core.ml import MLDecoder
 from repro.core.crc import crc16
 from repro.core.framing import Frame, FrameDecoder, FrameEncoder
@@ -46,8 +46,11 @@ __all__ = [
     "StridedPuncturing",
     "make_schedule",
     "SpinalEncoder",
+    "BatchSpinalEncoder",
     "ReceivedSymbols",
+    "BatchReceivedSymbols",
     "BubbleDecoder",
+    "BatchBubbleDecoder",
     "DecodeResult",
     "MLDecoder",
     "crc16",

@@ -32,10 +32,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.params import DecoderParams, SpinalParams
-from repro.core.symbols import ReceivedSymbols
+from repro.core.symbols import BatchReceivedView, ReceivedSymbols
 from repro.utils.bitops import pack_chunks
 
-__all__ = ["BubbleDecoder", "DecodeResult"]
+__all__ = ["BubbleDecoder", "BatchBubbleDecoder", "DecodeResult"]
 
 
 @dataclass
@@ -183,3 +183,119 @@ class BubbleDecoder:
 
         message = pack_chunks(np.asarray(chunks, dtype=np.uint32), k)
         return DecodeResult(message, best_cost, received.n_symbols)
+
+
+class BatchBubbleDecoder(BubbleDecoder):
+    """Bubble decoder over a batch axis: M independent messages at once.
+
+    The beam is an ``(M, n_beam, W)`` array; every step hashes all
+    ``M * n_beam * W * 2^k`` children in one broadcast call and prunes each
+    message with its own ``argpartition`` row.  Amortising the fixed cost of
+    each numpy call over M messages is what makes Monte-Carlo sweeps fast —
+    the per-step arithmetic is unchanged.
+
+    Bit-exactness: the arithmetic is laid out so every message reproduces
+    the scalar :class:`BubbleDecoder` exactly — branch costs keep the slot
+    axis leading (same reduction order in the sum over received symbols),
+    and selection/argmin operate on contiguous per-message rows (same
+    introselect order as the scalar 1-D calls).  ``decode_batch`` over a
+    batch store is therefore result-identical to M scalar ``decode`` calls,
+    which ``tests/test_batch_equivalence.py`` asserts.
+    """
+
+    def _branch_costs_batch(
+        self, states: np.ndarray, spine_idx: int, received: BatchReceivedView
+    ) -> np.ndarray:
+        """Edge costs for ``states`` of shape (M, n_states) -> (M, n_states)."""
+        slots, values = received.for_spine(spine_idx)
+        states = np.asarray(states, dtype=np.uint32)
+        n_msgs, n_states = states.shape
+        if slots.size == 0:
+            return np.zeros((n_msgs, n_states), dtype=np.float64)
+        # (n_slots, M, n_states): slot axis leads exactly as in the scalar
+        # path's (n_slots, n_states), so the sum reduces in the same order.
+        words = self._rng.words(states[None, :, :], slots[:, None, None])
+        if self.params.is_bsc:
+            bits = (words & np.uint32(1)).astype(np.float64)
+            return np.abs(bits - values.T[:, :, None]).sum(axis=0)
+        c = self.params.c
+        x_i = self._levels[(words & self._c_mask).astype(np.intp)]
+        x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
+        d_r = values.real.T[:, :, None] - x_i
+        d_q = values.imag.T[:, :, None] - x_q
+        return (d_r * d_r + d_q * d_q).sum(axis=0)
+
+    def decode_batch(self, received: BatchReceivedView) -> list[DecodeResult]:
+        """Decode every message of a batch view in one vectorised search."""
+        if received.n_spine != self.n_spine:
+            raise ValueError("received-symbol store has mismatched spine length")
+        k, K, d, W = self.k, 1 << self.k, self.d, self._W
+        M = received.n_rows
+        edges = np.arange(K, dtype=np.uint32)
+        hash_fn = self.params.hash_fn
+
+        # Unpruned expansion of the first d-1 levels.
+        leaf_states = np.full((M, 1, 1), self.params.s0, dtype=np.uint32)
+        leaf_costs = np.zeros((M, 1, 1), dtype=np.float64)
+        for step in range(d - 1):
+            children = hash_fn(leaf_states[:, :, :, None], edges)
+            bc = self._branch_costs_batch(
+                children.reshape(M, -1), step, received
+            )
+            leaf_costs = (leaf_costs[:, :, :, None]
+                          + bc.reshape(children.shape)).reshape(M, 1, -1)
+            leaf_states = children.reshape(M, 1, -1)
+
+        # Main loop: identical structure to the scalar decoder, with every
+        # per-message array gaining a leading batch axis.
+        parent_hist: list[np.ndarray] = []
+        edge_hist: list[np.ndarray] = []
+        row_idx = np.arange(M)[:, None]
+        for step in range(d - 1, self.n_spine):
+            n_beam = leaf_states.shape[1]
+            children = hash_fn(leaf_states[:, :, :, None], edges)
+            bc = self._branch_costs_batch(
+                children.reshape(M, -1), step, received
+            )
+            totals = leaf_costs[:, :, :, None] + bc.reshape(M, n_beam, W, K)
+            totals = totals.reshape(M, n_beam, K, W)
+            states4 = children.reshape(M, n_beam, K, W)
+            group_costs = totals.min(axis=3).reshape(M, n_beam * K)
+            n_keep = min(self.dec.B, group_costs.shape[1])
+            if n_keep < group_costs.shape[1]:
+                sel = np.argpartition(group_costs, n_keep - 1, axis=1)[:, :n_keep]
+            else:
+                sel = np.broadcast_to(
+                    np.arange(group_costs.shape[1]), group_costs.shape
+                )
+            parents = sel // K
+            sel_edges = sel % K
+            parent_hist.append(parents)
+            edge_hist.append(sel_edges)
+            leaf_states = states4[row_idx, parents, sel_edges, :]
+            leaf_costs = totals[row_idx, parents, sel_edges, :]
+
+        # Best leaf and backtrack, per message.
+        flat_costs = leaf_costs.reshape(M, -1)
+        flat_best = np.argmin(flat_costs, axis=1)
+        results: list[DecodeResult] = []
+        for m in range(M):
+            b_star, w_star = divmod(int(flat_best[m]), W)
+            best_cost = float(flat_costs[m, flat_best[m]])
+            rev_chunks: list[int] = []
+            b = b_star
+            for parents, sel_edges in zip(
+                reversed(parent_hist), reversed(edge_hist)
+            ):
+                rev_chunks.append(int(sel_edges[m, b]))
+                b = int(parents[m, b])
+            chunks = list(reversed(rev_chunks))
+            digits = []
+            w = w_star
+            for _ in range(d - 1):
+                digits.append(w % K)
+                w //= K
+            chunks.extend(reversed(digits))
+            message = pack_chunks(np.asarray(chunks, dtype=np.uint32), k)
+            results.append(DecodeResult(message, best_cost, received.n_symbols))
+        return results

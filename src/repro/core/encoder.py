@@ -20,9 +20,9 @@ import numpy as np
 
 from repro.core.params import SpinalParams
 from repro.core.puncturing import transmission_plan
-from repro.core.spine import spine_states
+from repro.core.spine import spine_states, spine_states_batch
 
-__all__ = ["SymbolBlock", "SpinalEncoder"]
+__all__ = ["SymbolBlock", "BatchSymbolBlock", "SpinalEncoder", "BatchSpinalEncoder"]
 
 
 @dataclass
@@ -94,3 +94,97 @@ class SpinalEncoder:
         """Generate ``n_passes`` complete passes starting from the stream head."""
         w = self._schedule.subpasses_per_pass
         return self.generate(0, n_passes * w)
+
+
+@dataclass
+class BatchSymbolBlock:
+    """A subpass range of the symbol streams of M aligned messages.
+
+    The transmission plan (``spine_indices``, ``slots``) is shared — every
+    message sends the same (spine, slot) sequence — while ``values`` has
+    shape ``(M, block_length)``, one symbol stream per message.
+    """
+
+    spine_indices: np.ndarray
+    slots: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return self.spine_indices.size
+
+
+class BatchSpinalEncoder:
+    """Encode M equal-length messages with one set of vectorised calls.
+
+    Per message, the output is bit-identical to a :class:`SpinalEncoder`
+    over the same bits: the spine construction, RNG draws and constellation
+    mapping all broadcast over a leading message axis.
+
+    Parameters
+    ----------
+    params: code parameters (shared with the decoder).
+    messages: uint8 array of shape (M, n) with n divisible by k.
+    """
+
+    def __init__(self, params: SpinalParams, messages: np.ndarray):
+        messages = np.atleast_2d(np.asarray(messages, dtype=np.uint8))
+        self.params = params
+        self.n_messages, self.n_bits = messages.shape
+        self.n_spine = params.n_spine(self.n_bits)
+        self.messages = messages
+        self.spines = spine_states_batch(
+            params.hash_fn, params.k, messages, params.s0
+        )
+        self._rng = params.make_rng()
+        self._mapping = params.make_mapping()
+        self._schedule = params.make_schedule()
+
+    @property
+    def subpasses_per_pass(self) -> int:
+        return self._schedule.subpasses_per_pass
+
+    def symbols_per_pass(self) -> int:
+        """Channel uses consumed by one full pass (incl. tail symbols)."""
+        return self.n_spine - 1 + self.params.tail_symbols
+
+    def symbols_at(
+        self,
+        spine_indices: np.ndarray,
+        slots: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Channel symbols for explicit (spine, slot) pairs, per message.
+
+        Returns shape ``(len(rows), len(slots))`` (all messages when
+        ``rows`` is None): complex I/Q values for AWGN-style mappings, bits
+        (uint8) for BSC.  Encoding is deterministic per message, so
+        restricting to a row subset produces exactly those rows of the
+        full-batch result.
+        """
+        spines = self.spines if rows is None else self.spines[rows]
+        seeds = spines[:, np.asarray(spine_indices, dtype=np.intp)]
+        slots = np.asarray(slots, dtype=np.uint32)[None, :]
+        if self.params.is_bsc:
+            return self._rng.bits(seeds, slots)
+        i_vals, q_vals = self._rng.iq_values(seeds, slots)
+        return self._mapping.map(i_vals) + 1j * self._mapping.map(q_vals)
+
+    def generate_batch(
+        self,
+        first_subpass: int,
+        n_subpasses: int = 1,
+        rows: np.ndarray | None = None,
+    ) -> BatchSymbolBlock:
+        """Generate a range of (global) subpasses for every message in rows.
+
+        Late subpasses of a cohort are usually driven by a few undecoded
+        stragglers; ``rows`` avoids encoding symbols for messages that have
+        already left the cohort.
+        """
+        spine_idx, slots = transmission_plan(
+            self._schedule, self.n_spine, self.params.tail_symbols,
+            first_subpass, n_subpasses,
+        )
+        return BatchSymbolBlock(
+            spine_idx, slots, self.symbols_at(spine_idx, slots, rows=rows)
+        )

@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.hashes import HashFn
 from repro.utils.bitops import chunk_bits
 
-__all__ = ["spine_states", "expand_states"]
+__all__ = ["spine_states", "spine_states_batch", "expand_states"]
 
 
 def spine_states(
@@ -34,6 +34,31 @@ def spine_states(
     for i, chunk in enumerate(chunks):
         s = hash_fn(s, np.asarray([chunk], dtype=np.uint32))
         states[i] = s[0]
+    return states
+
+
+def spine_states_batch(
+    hash_fn: HashFn, k: int, messages: np.ndarray, s0: int = 0
+) -> np.ndarray:
+    """Spines of M equal-length messages in one pass: ``(M, n/k)`` uint32.
+
+    One hash call per spine step covers the whole batch, so building M
+    spines costs the same number of numpy calls as building one.  Row ``m``
+    equals ``spine_states(hash_fn, k, messages[m], s0)`` exactly.
+    """
+    messages = np.atleast_2d(np.asarray(messages, dtype=np.uint8))
+    n_msgs, n_bits = messages.shape
+    if n_bits % k:
+        raise ValueError(f"bit count {n_bits} not divisible by k={k}")
+    weights = (1 << np.arange(k - 1, -1, -1)).astype(np.uint32)
+    chunks = (
+        messages.reshape(n_msgs, -1, k).astype(np.uint32) * weights
+    ).sum(axis=2, dtype=np.uint32)
+    states = np.empty((n_msgs, n_bits // k), dtype=np.uint32)
+    s = np.full(n_msgs, s0, dtype=np.uint32)
+    for i in range(n_bits // k):
+        s = hash_fn(s, chunks[:, i])
+        states[:, i] = s
     return states
 
 

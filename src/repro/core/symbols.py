@@ -5,27 +5,120 @@ in each run" — this container is that store.  Received values are grouped by
 spine position, keeping the slot index of each symbol (so the decoder can
 replay the exact RNG draws) and, for fading channels, the per-symbol channel
 coefficient when the decoder is given fading information (§8.3).
+
+The store is columnar: per spine position, preallocated slot/value/csi rows
+of a 2-D array plus a fill count.  :meth:`ReceivedSymbols.add_block` is a
+vectorised group-by-spine scatter (one ``argsort`` + one fancy assignment
+per block, no Python loop over symbols), and :meth:`ReceivedSymbols.prefix`
+hands out O(1) views of any earlier fill state, which is what lets a
+rateless session keep a single incremental store across all of its decode
+attempts instead of rebuilding one per attempt.
+
+:class:`BatchReceivedSymbols` is the same layout with a leading message
+axis: M independent messages that share one transmission plan (same spine
+indices and slots per subpass, e.g. a Monte-Carlo cohort over i.i.d.
+channels) store their received values in ``(n_spine, M, capacity)`` arrays
+so the batch decoder can pull ``(rows, slots)`` panels per spine position.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ReceivedSymbols"]
+__all__ = ["ReceivedSymbols", "BatchReceivedSymbols"]
+
+_INITIAL_CAPACITY = 4
 
 
-class ReceivedSymbols:
+def _scatter_layout(
+    spine_indices: np.ndarray, n_spine: int, counts: np.ndarray
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Column assignment for a block of incoming symbols.
+
+    Returns ``(order, rows, cols, uniq, cnt)``: storing symbol ``order[j]``
+    at ``[rows[j], cols[j]]`` appends every symbol to its spine position in
+    arrival order (the stable sort keeps within-position order), after which
+    ``counts[uniq] += cnt`` advances the fill counts.  ``order`` is None
+    when the block is already in spine order — the common case, since
+    ``transmission_plan`` emits each subpass's positions ascending — so
+    callers can skip the gather entirely.
+    """
+    arr = np.asarray(spine_indices, dtype=np.intp).ravel()
+    n = arr.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return None, arr, empty, arr, empty
+    lo, hi = int(arr.min()), int(arr.max())
+    if lo < 0 or hi >= n_spine:
+        bad = lo if lo < 0 else hi
+        raise IndexError(f"spine index {bad} out of range")
+    if np.all(arr[1:] >= arr[:-1]):
+        # Already grouped: group boundaries fall out of one diff.
+        order, rows = None, arr
+        start = np.concatenate(([0], np.flatnonzero(np.diff(arr)) + 1))
+        uniq = arr[start]
+        cnt = np.diff(np.concatenate((start, [n])))
+    else:
+        order = np.argsort(arr, kind="stable")
+        rows = arr[order]
+        uniq, start, cnt = np.unique(rows, return_index=True, return_counts=True)
+    offsets = np.arange(n, dtype=np.int64) - np.repeat(start, cnt)
+    cols = counts[rows] + offsets
+    return order, rows, cols, uniq, cnt
+
+
+def _grown(arr: np.ndarray, capacity: int) -> np.ndarray:
+    """Copy of ``arr`` with its last axis grown to ``capacity`` columns."""
+    shape = arr.shape[:-1] + (capacity,)
+    out = np.zeros(shape, dtype=arr.dtype)
+    out[..., : arr.shape[-1]] = arr
+    return out
+
+
+class _ColumnarStore:
+    """Shared plumbing of the scalar and batch stores: preallocated
+    column arrays that grow by doubling, plus checkpoint bookkeeping."""
+
+    def __init__(self, n_spine: int, complex_valued: bool):
+        self.n_spine = n_spine
+        self.complex_valued = complex_valued
+        self._vtype = np.complex128 if complex_valued else np.float64
+        self._capacity = _INITIAL_CAPACITY
+        self._slots = np.zeros((n_spine, self._capacity), dtype=np.uint32)
+        self._csi: np.ndarray | None = None
+        self._counts = np.zeros(n_spine, dtype=np.int64)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        self._slots = _grown(self._slots, capacity)
+        self._values = _grown(self._values, capacity)
+        if self._csi is not None:
+            self._csi = _grown(self._csi, capacity)
+        self._capacity = capacity
+
+    def checkpoint(self) -> np.ndarray:
+        """Snapshot of the per-spine fill counts (give to :meth:`prefix`)."""
+        return self._counts.copy()
+
+    def _validated_checkpoint(self, counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_spine,) or (counts > self._counts).any():
+            raise ValueError("checkpoint does not match this store")
+        return counts
+
+
+class ReceivedSymbols(_ColumnarStore):
     """Per-spine-position store of (slot, value[, csi]) observations."""
 
     def __init__(self, n_spine: int, complex_valued: bool = True):
-        self.n_spine = n_spine
-        self.complex_valued = complex_valued
-        self._slots: list[list[int]] = [[] for _ in range(n_spine)]
-        self._values: list[list[complex]] = [[] for _ in range(n_spine)]
-        self._csi: list[list[complex]] = [[] for _ in range(n_spine)]
+        super().__init__(n_spine, complex_valued)
+        self._values = np.zeros((n_spine, self._capacity), dtype=self._vtype)
         self._has_csi = False
         self._count = 0
-        self._cache: dict[int, tuple] = {}
 
     def __len__(self) -> int:
         return self._count
@@ -55,34 +148,50 @@ class ReceivedSymbols:
             csi = np.asarray(csi)
             if csi.size != values.size:
                 raise ValueError("csi must align with values")
+            if not self._has_csi and self._count:
+                # Earlier symbols have no coefficient; zero-filling them
+                # would silently corrupt branch costs.
+                raise ValueError(
+                    "store already holds CSI-less symbols; CSI must be "
+                    "provided from the first block"
+                )
             self._has_csi = True
+            if self._csi is None:
+                self._csi = np.zeros(
+                    (self.n_spine, self._capacity), dtype=np.complex128
+                )
         elif self._has_csi and values.size:
             raise ValueError("store already holds CSI; blocks must keep providing it")
-        for j in range(values.size):
-            i = int(spine_indices[j])
-            if not 0 <= i < self.n_spine:
-                raise IndexError(f"spine index {i} out of range")
-            self._slots[i].append(int(slots[j]))
-            self._values[i].append(values[j])
-            if csi is not None:
-                self._csi[i].append(csi[j])
+        if values.size == 0:
+            return
+        order, rows, cols, uniq, cnt = _scatter_layout(
+            spine_indices, self.n_spine, self._counts
+        )
+        self._ensure_capacity(int(cols.max()) + 1)
+        slots, values = slots.ravel(), values.ravel()
+        if order is not None:
+            slots, values = slots[order], values[order]
+        self._slots[rows, cols] = slots
+        self._values[rows, cols] = values
+        if csi is not None:
+            csi = csi.ravel()
+            self._csi[rows, cols] = csi if order is None else csi[order]
+        self._counts[uniq] += cnt
         self._count += values.size
-        self._cache.clear()
 
     def for_spine(self, i: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        """(slots, values, csi-or-None) arrays for spine position ``i``."""
-        if i in self._cache:
-            return self._cache[i]
-        slots = np.asarray(self._slots[i], dtype=np.uint32)
-        vtype = np.complex128 if self.complex_valued else np.float64
-        values = np.asarray(self._values[i], dtype=vtype)
-        csi = (
-            np.asarray(self._csi[i], dtype=np.complex128)
-            if self._has_csi else None
-        )
-        out = (slots, values, csi)
-        self._cache[i] = out
-        return out
+        """(slots, values, csi-or-None) array views for spine position ``i``."""
+        c = self._counts[i]
+        csi = self._csi[i, :c] if self._has_csi else None
+        return self._slots[i, :c], self._values[i, :c], csi
+
+    def prefix(self, counts: np.ndarray) -> "ReceivedPrefix":
+        """O(1) view of the store as it was at a :meth:`checkpoint`.
+
+        The view shares the underlying arrays; it stays valid as more blocks
+        are appended (appends only touch columns past the checkpoint).
+        """
+        return ReceivedPrefix(self, self._validated_checkpoint(counts))
 
     def max_pass_count(self, tail_symbols: int) -> int:
         """Upper bound on how many passes any spine position spans.
@@ -90,9 +199,130 @@ class ReceivedSymbols:
         Used by the decoder to bound the slot range; slot indices for the
         final spine position advance ``tail_symbols`` per pass.
         """
-        best = 0
-        for i in range(self.n_spine):
-            if self._slots[i]:
-                step = tail_symbols if i == self.n_spine - 1 else 1
-                best = max(best, (max(self._slots[i]) // step) + 1)
-        return best
+        return _max_pass_count(self._slots, self._counts, tail_symbols)
+
+
+def _max_pass_count(
+    slots: np.ndarray, counts: np.ndarray, tail_symbols: int
+) -> int:
+    filled = counts > 0
+    if not filled.any():
+        return 0
+    valid = np.arange(slots.shape[1])[None, :] < counts[:, None]
+    max_slot = np.where(valid, slots, 0).max(axis=1).astype(np.int64)
+    steps = np.ones(slots.shape[0], dtype=np.int64)
+    steps[-1] = tail_symbols
+    return int(np.where(filled, max_slot // steps + 1, 0).max())
+
+
+class ReceivedPrefix:
+    """Read-only view of a :class:`ReceivedSymbols` prefix (one checkpoint).
+
+    Implements the store interface the decoders consume (``n_spine``,
+    ``n_symbols``, ``for_spine``), so a session can decode "the symbols of
+    the first g subpasses" without copying anything.
+    """
+
+    def __init__(self, store: ReceivedSymbols, counts: np.ndarray):
+        self._store = store
+        self._counts = counts
+        self.n_spine = store.n_spine
+        self.complex_valued = store.complex_valued
+        self.n_symbols = int(counts.sum())
+
+    def __len__(self) -> int:
+        return self.n_symbols
+
+    @property
+    def has_csi(self) -> bool:
+        return self._store.has_csi
+
+    def for_spine(self, i: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        c = self._counts[i]
+        store = self._store
+        csi = store._csi[i, :c] if store.has_csi else None
+        return store._slots[i, :c], store._values[i, :c], csi
+
+    def max_pass_count(self, tail_symbols: int) -> int:
+        return _max_pass_count(self._store._slots, self._counts, tail_symbols)
+
+
+class BatchReceivedSymbols(_ColumnarStore):
+    """Columnar store for M messages sharing one transmission plan.
+
+    All messages receive symbols for the same (spine, slot) layout — the
+    i.i.d.-channel Monte-Carlo setting — so slots are stored once and values
+    carry a leading message axis.  Rows (messages) may stop receiving at
+    different subpasses (a decoded message leaves the cohort); a
+    :meth:`prefix` view pairs a row subset with a per-spine count snapshot,
+    and only columns below that snapshot are ever read for those rows.
+    """
+
+    def __init__(self, n_spine: int, n_messages: int, complex_valued: bool = True):
+        super().__init__(n_spine, complex_valued)
+        self.n_messages = n_messages
+        self._values = np.zeros(
+            (n_spine, n_messages, self._capacity), dtype=self._vtype
+        )
+
+    def add_block(
+        self,
+        spine_indices: np.ndarray,
+        slots: np.ndarray,
+        values: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> None:
+        """Scatter one subpass block for the messages in ``rows``.
+
+        ``values`` has shape ``(len(rows), block_length)``.  Advances the
+        shared layout counts once, regardless of how many rows are active.
+        """
+        spine_indices = np.asarray(spine_indices)
+        slots = np.asarray(slots)
+        values = np.asarray(values)
+        if rows is None:
+            rows_idx = np.arange(self.n_messages, dtype=np.intp)
+        else:
+            rows_idx = np.asarray(rows, dtype=np.intp)
+        if values.shape != (rows_idx.size, spine_indices.size):
+            raise ValueError("values must have shape (n_rows, block_length)")
+        if spine_indices.size == 0:
+            return
+        order, srows, cols, uniq, cnt = _scatter_layout(
+            spine_indices, self.n_spine, self._counts
+        )
+        self._ensure_capacity(int(cols.max()) + 1)
+        slots = slots.ravel()
+        if order is not None:
+            slots, values = slots[order], values[:, order]
+        self._slots[srows, cols] = slots
+        self._values[srows[None, :], rows_idx[:, None], cols[None, :]] = values
+        self._counts[uniq] += cnt
+
+    def prefix(self, rows: np.ndarray, counts: np.ndarray) -> "BatchReceivedView":
+        """Panel view: message subset ``rows`` at fill state ``counts``."""
+        return BatchReceivedView(
+            self, np.asarray(rows, dtype=np.intp),
+            self._validated_checkpoint(counts),
+        )
+
+
+class BatchReceivedView:
+    """What :class:`repro.core.decoder.BatchBubbleDecoder` consumes."""
+
+    def __init__(
+        self, store: BatchReceivedSymbols, rows: np.ndarray, counts: np.ndarray
+    ):
+        self._store = store
+        self.rows = rows
+        self._counts = counts
+        self.n_spine = store.n_spine
+        self.n_rows = rows.size
+        self.complex_valued = store.complex_valued
+        self.n_symbols = int(counts.sum())  # per message
+
+    def for_spine(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(slots, values) with values shaped ``(n_rows, n_slots)``."""
+        c = self._counts[i]
+        store = self._store
+        return store._slots[i, :c], store._values[i][self.rows, :c]

@@ -29,13 +29,51 @@ _PCTS = (50.0, 90.0, 99.0)
 
 @dataclass
 class FlowStats:
-    """Aggregated outcomes of one flow's packets."""
+    """Aggregated outcomes of one flow's packets.
+
+    Counters are folded over ``results`` in a **single pass** and cached —
+    rendering a summary used to walk the result list once per property
+    (~8 full passes), which made large batch-runner reports quadratic-ish.
+    The cache is invalidated by :meth:`add` (or by appending to ``results``
+    directly, which the length check catches).  Records are treated as
+    immutable once added: replacing or mutating an existing element of
+    ``results`` in place is not supported and would serve stale totals.
+    """
 
     flow: str
     results: list[PacketResult] = field(default_factory=list)
 
     def add(self, result: PacketResult) -> None:
         self.results.append(result)
+        self._fold_cache = None
+
+    def _totals(self) -> dict:
+        cache = getattr(self, "_fold_cache", None)
+        if cache is not None and cache["n_packets"] == len(self.results):
+            return cache
+        n_delivered = offered = delivered = 0
+        symbols = wasted = retrans = coded = 0
+        for r in self.results:
+            offered += r.payload_bits
+            symbols += r.symbols
+            wasted += r.wasted_symbols
+            retrans += r.retransmissions
+            coded += r.coded_bits
+            if r.success:
+                n_delivered += 1
+                delivered += r.payload_bits
+        cache = {
+            "n_packets": len(self.results),
+            "n_delivered": n_delivered,
+            "payload_bits_offered": offered,
+            "payload_bits_delivered": delivered,
+            "symbols": symbols,
+            "wasted_symbols": wasted,
+            "retransmissions": retrans,
+            "coded_bits": coded,
+        }
+        self._fold_cache = cache
+        return cache
 
     # -- counters ---------------------------------------------------------
 
@@ -45,68 +83,80 @@ class FlowStats:
 
     @property
     def n_delivered(self) -> int:
-        return sum(r.success for r in self.results)
+        return self._totals()["n_delivered"]
 
     @property
     def payload_bits_offered(self) -> int:
-        return sum(r.payload_bits for r in self.results)
+        return self._totals()["payload_bits_offered"]
 
     @property
     def payload_bits_delivered(self) -> int:
-        return sum(r.payload_bits for r in self.results if r.success)
+        return self._totals()["payload_bits_delivered"]
 
     @property
     def symbols(self) -> int:
         """Channel symbols this flow consumed (including waste)."""
-        return sum(r.symbols for r in self.results)
+        return self._totals()["symbols"]
 
     @property
     def wasted_symbols(self) -> int:
-        return sum(r.wasted_symbols for r in self.results)
+        return self._totals()["wasted_symbols"]
 
     @property
     def retransmissions(self) -> int:
-        return sum(r.retransmissions for r in self.results)
+        return self._totals()["retransmissions"]
 
     # -- derived metrics --------------------------------------------------
 
     @property
     def goodput(self) -> float:
         """Delivered payload bits per channel symbol consumed."""
-        if self.symbols == 0:
+        t = self._totals()
+        if t["symbols"] == 0:
             return 0.0
-        return self.payload_bits_delivered / self.symbols
+        return t["payload_bits_delivered"] / t["symbols"]
 
     @property
     def framing_overhead(self) -> float:
         """Fraction of coded bits that are CRC/padding rather than payload."""
-        coded = sum(r.coded_bits for r in self.results)
-        if coded == 0:
+        t = self._totals()
+        if t["coded_bits"] == 0:
             return 0.0
-        return 1.0 - self.payload_bits_offered / coded
+        return 1.0 - t["payload_bits_offered"] / t["coded_bits"]
+
+    def _latencies(self) -> list[int]:
+        """Delivery latencies (symbol times) of the delivered packets."""
+        return [r.latency for r in self.results if r.success]
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile (symbol times) over delivered packets."""
-        lats = [r.latency for r in self.results if r.success]
+        lats = self._latencies()
         if not lats:
             return float("nan")
         return float(np.percentile(lats, q))
 
     def as_dict(self) -> dict:
-        """JSON-safe summary (stable key order for byte-identical dumps)."""
+        """JSON-safe summary (stable key order for byte-identical dumps).
+
+        One fold over the results plus one latency collection — not one
+        pass per reported field.
+        """
+        t = self._totals()
         out = {
             "flow": self.flow,
-            "n_packets": self.n_packets,
-            "n_delivered": self.n_delivered,
-            "payload_bits_delivered": self.payload_bits_delivered,
-            "symbols": self.symbols,
-            "wasted_symbols": self.wasted_symbols,
-            "retransmissions": self.retransmissions,
+            "n_packets": t["n_packets"],
+            "n_delivered": t["n_delivered"],
+            "payload_bits_delivered": t["payload_bits_delivered"],
+            "symbols": t["symbols"],
+            "wasted_symbols": t["wasted_symbols"],
+            "retransmissions": t["retransmissions"],
             "goodput": round(self.goodput, 9),
             "framing_overhead": round(self.framing_overhead, 9),
         }
-        for q in _PCTS:
-            val = self.latency_percentile(q)
+        lats = self._latencies()
+        pcts = np.percentile(lats, _PCTS) if lats else [float("nan")] * len(_PCTS)
+        for q, val in zip(_PCTS, pcts):
+            val = float(val)
             out[f"latency_p{int(q)}"] = None if np.isnan(val) else round(val, 3)
         return out
 

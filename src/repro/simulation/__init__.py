@@ -6,7 +6,7 @@ simulator, and demapper, to the decoder, and collects performance
 statistics.  All codes run through the same engine."
 """
 
-from repro.simulation.engine import SessionResult, SpinalSession
+from repro.simulation.engine import BatchSession, SessionResult, SpinalSession
 from repro.simulation.sweep import (
     RateMeasurement,
     RatelessScheme,
@@ -18,6 +18,7 @@ from repro.simulation.sweep import (
 
 __all__ = [
     "SpinalSession",
+    "BatchSession",
     "SessionResult",
     "RateMeasurement",
     "RatelessScheme",

@@ -1,4 +1,4 @@
-"""Single-message rateless session: encoder -> channel -> bubble decoder.
+"""Rateless sessions: encoder -> channel -> bubble decoder.
 
 The paper's receiver attempts a decode after (roughly) every punctured
 subpass and stops at the first success (§5, §8.4).  Replaying a decode
@@ -10,6 +10,25 @@ succeeds — with geometric probing followed by bisection.  Decode success is
 exhaustive scan with overwhelming probability while running ~5x fewer
 attempts.  (Set ``probe_growth=1`` to force the exhaustive per-subpass scan
 the paper describes.)
+
+Each session owns **one** incremental :class:`ReceivedSymbols` store:
+subpasses are appended as they are transmitted and every decode attempt
+reads an O(1) prefix view of the store (a per-subpass checkpoint cursor),
+so probing and bisection never rebuild symbol storage.
+
+:class:`BatchSession` runs M independent messages as one cohort: at every
+probe point all still-undecoded messages are decoded together by a
+:class:`~repro.core.decoder.BatchBubbleDecoder` (and bisection steps are
+grouped by probe point), which amortises the per-step numpy call overhead
+over the whole cohort.  The batch path requires **memoryless** channels
+(``Channel.memoryless``): each message owns its channel and RNG so results
+are bit-identical to scalar sessions, but stateful models — Rayleigh block
+fading, whose coherence block spans transmit calls, or the shared-medium
+symbol clock — couple a message's draws to *when* it transmits, and CSI is
+a per-message array the batched branch-cost kernel does not carry.  For
+those, :meth:`BatchSession.run` transparently falls back to per-message
+scalar :class:`SpinalSession` runs, preserving results exactly at scalar
+speed.
 
 Success is judged against the transmitted message (oracle mode, standard
 for rate curves — it measures code performance without protocol overhead).
@@ -23,13 +42,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channels.base import Channel, ChannelOutput
-from repro.core.decoder import BubbleDecoder
-from repro.core.encoder import SpinalEncoder
+from repro.channels.base import Channel, ChannelOutput, transmit_batch
+from repro.core.decoder import BatchBubbleDecoder, BubbleDecoder
+from repro.core.encoder import BatchSpinalEncoder, SpinalEncoder
 from repro.core.params import DecoderParams, SpinalParams
-from repro.core.symbols import ReceivedSymbols
+from repro.core.symbols import BatchReceivedSymbols, ReceivedSymbols
 
-__all__ = ["SpinalSession", "SessionResult", "csi_mode", "received_view"]
+__all__ = [
+    "SpinalSession",
+    "BatchSession",
+    "SessionResult",
+    "csi_mode",
+    "received_view",
+    "probe_schedule",
+]
 
 
 def csi_mode(give_csi: bool | str) -> str:
@@ -61,6 +87,26 @@ def received_view(out: ChannelOutput, mode: str) -> tuple[np.ndarray, np.ndarray
             # Carrier recovery: derotate, stay blind to |h|.
             values = values * np.exp(-1j * np.angle(out.csi))
     return values, csi
+
+
+def probe_schedule(probe_growth: float, max_subpasses: int) -> list[int]:
+    """Subpass counts at which a session attempts a decode.
+
+    The schedule is the same for every message at an operating point, which
+    is what lets :class:`BatchSession` decode a whole cohort per probe.
+    """
+    schedule: list[int] = []
+    g = 1
+    while g <= max_subpasses:
+        schedule.append(g)
+        if probe_growth == 1.0:
+            g += 1
+        else:
+            nxt = min(max(g + 1, math.ceil(g * probe_growth)), max_subpasses)
+            if nxt == g:
+                break
+            g = nxt
+    return schedule
 
 
 @dataclass
@@ -119,35 +165,43 @@ class SpinalSession:
         self.probe_growth = probe_growth
         self.encoder = SpinalEncoder(params, self.message_bits)
         self.decoder = BubbleDecoder(params, decoder_params, self.message_bits.size)
-        self._blocks: list[tuple] = []  # (SymbolBlock, noisy values, csi)
+        # One incremental store for the whole session; decode attempts read
+        # prefix views through these per-subpass checkpoints instead of
+        # rebuilding symbol storage per attempt.
+        self._store = ReceivedSymbols(
+            self.encoder.n_spine, complex_valued=not self.params.is_bsc
+        )
+        self._checkpoints = [self._store.checkpoint()]
+        self._cum_symbols = [0]
         self._n_attempts = 0
         self._last_cost = float("nan")
 
     # -- transmission ----------------------------------------------------
 
+    @property
+    def _n_subpasses_stored(self) -> int:
+        return len(self._checkpoints) - 1
+
     def _ensure_subpasses(self, count: int) -> None:
         """Transmit through the channel up to ``count`` subpasses."""
-        while len(self._blocks) < count:
-            g = len(self._blocks)
-            block = self.encoder.generate(g)
+        while self._n_subpasses_stored < count:
+            block = self.encoder.generate(self._n_subpasses_stored)
             out = self.channel.transmit(block.values)
             values, csi = received_view(out, self.csi_mode)
-            self._blocks.append((block, values, csi))
+            self._store.add_block(block.spine_indices, block.slots, values, csi=csi)
+            self._checkpoints.append(self._store.checkpoint())
+            self._cum_symbols.append(self._cum_symbols[-1] + len(block))
 
     def _symbols_in(self, n_subpasses: int) -> int:
-        return sum(len(b[0]) for b in self._blocks[:n_subpasses])
+        return self._cum_symbols[n_subpasses]
 
     # -- decoding --------------------------------------------------------
 
     def _attempt(self, n_subpasses: int) -> bool:
         """Decode from the first ``n_subpasses`` subpasses."""
         self._ensure_subpasses(n_subpasses)
-        store = ReceivedSymbols(
-            self.encoder.n_spine, complex_valued=not self.params.is_bsc
-        )
-        for block, values, csi in self._blocks[:n_subpasses]:
-            store.add_block(block.spine_indices, block.slots, values, csi=csi)
-        result = self.decoder.decode(store)
+        view = self._store.prefix(self._checkpoints[n_subpasses])
+        result = self.decoder.decode(view)
         self._n_attempts += 1
         self._last_cost = result.path_cost
         return result.matches(self.message_bits)
@@ -157,22 +211,15 @@ class SpinalSession:
         w = self.encoder.subpasses_per_pass
         max_subpasses = self.dec.max_passes * w
 
-        # Geometric probe for the first success.
+        # Geometric probe for the first success (shared schedule with the
+        # batch engine — the bit-identical contract depends on it).
         lo = 0  # highest known-failing subpass count
-        g = 1
         hi = None
-        while g <= max_subpasses:
+        for g in probe_schedule(self.probe_growth, max_subpasses):
             if self._attempt(g):
                 hi = g
                 break
             lo = g
-            if self.probe_growth == 1.0:
-                g += 1
-            else:
-                g = min(max(g + 1, math.ceil(g * self.probe_growth)),
-                        max_subpasses)
-                if g == lo:  # already at the cap and it failed
-                    break
 
         if hi is None:
             self._ensure_subpasses(max_subpasses)
@@ -213,3 +260,175 @@ class SpinalSession:
             n_attempts=self._n_attempts,
             path_cost=self._last_cost,
         )
+
+
+class BatchSession:
+    """Runs M independent rateless sessions as one decode cohort.
+
+    Every message gets its own channel (and therefore its own noise
+    stream); the decode pipeline is shared.  At each probe point of the
+    common schedule, all still-undecoded messages are decoded in one
+    batched bubble search; bisection steps are grouped by probe point the
+    same way.  Per message, the outcome is **bit-identical** to running
+    :class:`SpinalSession` on the same (message, channel) pair: same
+    success flags, symbol counts, attempt counts and path costs.
+
+    Channels must be memoryless (``Channel.memoryless``) for the batch
+    path; cohorts containing stateful channels (fading, shared-medium) are
+    transparently run through per-message scalar sessions instead — see the
+    module docstring for why.
+
+    Parameters
+    ----------
+    params, decoder_params: code and decoder configuration.
+    messages: uint8 array of shape (M, n_bits).
+    channels: one :class:`~repro.channels.base.Channel` per message.
+    give_csi, probe_growth: as in :class:`SpinalSession`.
+    """
+
+    def __init__(
+        self,
+        params: SpinalParams,
+        decoder_params: DecoderParams,
+        messages: np.ndarray,
+        channels: list[Channel],
+        give_csi: bool | str = False,
+        probe_growth: float = 1.5,
+    ):
+        self.params = params
+        self.dec = decoder_params
+        self.messages = np.atleast_2d(np.asarray(messages, dtype=np.uint8))
+        if len(channels) != self.messages.shape[0]:
+            raise ValueError("one channel per message required")
+        self.channels = list(channels)
+        self.csi_mode = csi_mode(give_csi)
+        if probe_growth < 1.0:
+            raise ValueError("probe_growth must be >= 1")
+        self.probe_growth = probe_growth
+
+    @property
+    def n_messages(self) -> int:
+        return self.messages.shape[0]
+
+    def _can_batch(self) -> bool:
+        # Stateful channels need strict transmission-order semantics, and a
+        # decoder that is meant to *see* CSI ("full"/"phase") needs the
+        # per-symbol coefficients the batched kernel does not carry — both
+        # take the scalar path.  Under the "none" policy any reported CSI
+        # is dropped either way, so batching stays bit-identical.
+        return (self.csi_mode == "none"
+                and all(ch.memoryless for ch in self.channels))
+
+    def _run_scalar(self) -> list[SessionResult]:
+        """Per-message fallback: exact scalar semantics, scalar speed."""
+        return [
+            SpinalSession(
+                self.params, self.dec, self.messages[m], self.channels[m],
+                give_csi=self.csi_mode, probe_growth=self.probe_growth,
+            ).run()
+            for m in range(self.n_messages)
+        ]
+
+    def run(self) -> list[SessionResult]:
+        """Rateless transmission of the cohort; one result per message."""
+        if not self._can_batch():
+            return self._run_scalar()
+
+        M = self.n_messages
+        encoder = BatchSpinalEncoder(self.params, self.messages)
+        decoder = BatchBubbleDecoder(
+            self.params, self.dec, self.messages.shape[1]
+        )
+        store = BatchReceivedSymbols(
+            encoder.n_spine, M, complex_valued=not self.params.is_bsc
+        )
+        checkpoints = [store.checkpoint()]
+        cum_symbols = [0]
+        w = encoder.subpasses_per_pass
+        max_subpasses = self.dec.max_passes * w
+
+        def ensure(rows: np.ndarray, count: int) -> None:
+            """Transmit up to ``count`` subpasses for the messages in rows.
+
+            Only still-active rows transmit — a decoded message's channel
+            stops drawing noise at exactly the subpass where its scalar
+            twin would have stopped.
+            """
+            while len(checkpoints) - 1 < count:
+                block = encoder.generate_batch(len(checkpoints) - 1, rows=rows)
+                received = transmit_batch(
+                    [self.channels[m] for m in rows], block.values
+                )
+                store.add_block(
+                    block.spine_indices, block.slots, received, rows=rows
+                )
+                checkpoints.append(store.checkpoint())
+                cum_symbols.append(cum_symbols[-1] + len(block))
+
+        n_attempts = np.zeros(M, dtype=np.int64)
+        last_cost = np.full(M, float("nan"))
+        lo = np.zeros(M, dtype=np.int64)
+        hi: list[int | None] = [None] * M
+
+        def attempt(rows: np.ndarray, n_subpasses: int) -> np.ndarray:
+            """Batched decode of ``rows`` at a prefix; returns success mask."""
+            view = store.prefix(rows, checkpoints[n_subpasses])
+            results = decoder.decode_batch(view)
+            ok = np.zeros(rows.size, dtype=bool)
+            for j, m in enumerate(rows):
+                n_attempts[m] += 1
+                last_cost[m] = results[j].path_cost
+                ok[j] = results[j].matches(self.messages[m])
+            return ok
+
+        # Geometric probing, whole cohort at a time.
+        active = np.arange(M, dtype=np.intp)
+        for g in probe_schedule(self.probe_growth, max_subpasses):
+            if active.size == 0:
+                break
+            ensure(active, g)
+            ok = attempt(active, g)
+            for m in active[ok]:
+                hi[m] = g
+            lo[active[~ok]] = g
+            active = active[~ok]
+
+        # Bisection, grouped by probe point so equal mids share one decode.
+        pending = [m for m in range(M) if hi[m] is not None]
+        while True:
+            mids: dict[int, list[int]] = {}
+            for m in pending:
+                if hi[m] - lo[m] > 1:
+                    mids.setdefault((lo[m] + hi[m]) // 2, []).append(m)
+            if not mids:
+                break
+            for mid, members in sorted(mids.items()):
+                rows = np.asarray(members, dtype=np.intp)
+                ok = attempt(rows, mid)
+                for j, m in enumerate(members):
+                    if ok[j]:
+                        hi[m] = mid
+                    else:
+                        lo[m] = mid
+
+        n_bits = self.messages.shape[1]
+        results: list[SessionResult] = []
+        for m in range(M):
+            if hi[m] is None:
+                results.append(SessionResult(
+                    success=False,
+                    n_symbols=cum_symbols[max_subpasses],
+                    n_subpasses=max_subpasses,
+                    n_bits=n_bits,
+                    n_attempts=int(n_attempts[m]),
+                ))
+            else:
+                results.append(SessionResult(
+                    success=True,
+                    n_symbols=cum_symbols[hi[m]],
+                    n_subpasses=hi[m],
+                    n_bits=n_bits,
+                    n_attempts=int(n_attempts[m]),
+                    path_cost=float(last_cost[m]),
+                ))
+        return results

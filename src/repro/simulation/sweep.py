@@ -5,6 +5,12 @@ codes run through the same engine".  The measured rate at an operating
 point is total bits delivered / total symbols transmitted, aggregated over
 messages; undecoded messages burn their symbols and deliver zero bits,
 exactly as a give-up does in the paper's framework.
+
+The engine runs messages either one at a time or in batched cohorts
+(``measure_scheme(batch_size=...)``): a cohort shares one vectorised decode
+pipeline (see :class:`~repro.simulation.engine.BatchSession`) while every
+message keeps its own channel and RNG, so the two paths produce identical
+:class:`RateMeasurement` records from the same seed.
 """
 
 from __future__ import annotations
@@ -15,9 +21,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.channels.base import Channel
-from repro.channels.capacity import awgn_capacity, gap_to_capacity_db
+from repro.channels.capacity import (
+    awgn_capacity,
+    bsc_capacity,
+    gap_to_capacity_db,
+    rayleigh_capacity,
+)
 from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation.engine import SpinalSession
+from repro.simulation.engine import BatchSession, SpinalSession
 from repro.utils.bitops import random_message
 
 __all__ = [
@@ -31,10 +42,26 @@ __all__ = [
 
 ChannelFactory = Callable[[np.random.Generator], Channel]
 
+#: capacity_reference -> capacity in bits/symbol from the operating point.
+#: "awgn"/"rayleigh" interpret ``snr_db`` as an SNR; "bsc" interprets it as
+#: the flip probability (the only operating-point knob a BSC has).
+_CAPACITY_FNS = {
+    "awgn": awgn_capacity,
+    "bsc": bsc_capacity,
+    "rayleigh": rayleigh_capacity,
+}
+
 
 @dataclass
 class RateMeasurement:
-    """Aggregated performance of one code at one operating point."""
+    """Aggregated performance of one code at one operating point.
+
+    ``capacity_reference`` names the channel family whose Shannon limit the
+    relative metrics compare against: "awgn" (default), "bsc" (then
+    ``snr_db`` carries the flip probability) or "rayleigh".  Comparing a
+    BSC sweep against AWGN capacity silently produced wrong gaps before
+    this knob existed.
+    """
 
     label: str
     snr_db: float
@@ -42,6 +69,14 @@ class RateMeasurement:
     n_success: int
     total_bits: int          # bits delivered (successes only)
     total_symbols: int       # symbols transmitted (incl. failed messages)
+    capacity_reference: str = "awgn"
+
+    def __post_init__(self):
+        if self.capacity_reference not in _CAPACITY_FNS:
+            raise ValueError(
+                f"unknown capacity reference {self.capacity_reference!r}; "
+                f"expected one of {sorted(_CAPACITY_FNS)}"
+            )
 
     @property
     def rate(self) -> float:
@@ -55,22 +90,42 @@ class RateMeasurement:
         return self.n_success / self.n_messages if self.n_messages else 0.0
 
     @property
+    def capacity(self) -> float:
+        """Shannon limit (bits/symbol) of the reference channel here."""
+        return float(_CAPACITY_FNS[self.capacity_reference](self.snr_db))
+
+    @property
     def gap_db(self) -> float:
-        """Gap to AWGN capacity at this SNR (negative; §8.1)."""
+        """Gap to AWGN capacity at this SNR (negative; §8.1).
+
+        Only defined against AWGN — the dB axis is an SNR shift, which has
+        no meaning for a BSC flip probability; raises otherwise.
+        """
+        if self.capacity_reference != "awgn":
+            raise ValueError(
+                "gap_db is defined against AWGN capacity only; use "
+                "fraction_of_capacity for "
+                f"{self.capacity_reference!r} measurements"
+            )
         if self.rate <= 0.0:
             return float("-inf")
         return gap_to_capacity_db(self.rate, self.snr_db)
 
     @property
     def fraction_of_capacity(self) -> float:
-        return self.rate / awgn_capacity(self.snr_db)
+        capacity = self.capacity
+        if capacity == 0.0:  # e.g. BSC at flip probability 0.5
+            return 0.0 if self.rate == 0.0 else float("inf")
+        return self.rate / capacity
 
 
 class RatelessScheme:
     """One code plugged into the shared measurement engine.
 
     Subclasses run a single message over a fresh channel and report
-    ``(bits_delivered, symbols_used)``.
+    ``(bits_delivered, symbols_used)``.  Schemes that can decode many
+    messages in one vectorised pipeline additionally override
+    :meth:`run_cohort`.
     """
 
     name = "scheme"
@@ -79,6 +134,12 @@ class RatelessScheme:
         self, channel: Channel, rng: np.random.Generator
     ) -> tuple[int, int]:
         raise NotImplementedError
+
+    def run_cohort(
+        self, channels: Sequence[Channel], rngs: Sequence[np.random.Generator]
+    ) -> list[tuple[int, int]]:
+        """Run one message per (channel, rng) pair; default is the scalar loop."""
+        return [self.run_message(ch, rng) for ch, rng in zip(channels, rngs)]
 
 
 class SpinalScheme(RatelessScheme):
@@ -111,6 +172,26 @@ class SpinalScheme(RatelessScheme):
         result = session.run()
         return (self.n_bits if result.success else 0), result.n_symbols
 
+    def run_cohort(
+        self, channels: Sequence[Channel], rngs: Sequence[np.random.Generator]
+    ) -> list[tuple[int, int]]:
+        """Batched cohort: one vectorised decode pipeline for all messages.
+
+        Messages are drawn per-rng in cohort order — the same draws the
+        scalar loop makes — and :class:`BatchSession` falls back to scalar
+        sessions itself when a channel is stateful, so this is always
+        result-identical to the base-class loop.
+        """
+        messages = np.stack([random_message(self.n_bits, rng) for rng in rngs])
+        session = BatchSession(
+            self.params, self.decoder_params, messages, list(channels),
+            give_csi=self.give_csi, probe_growth=self.probe_growth,
+        )
+        return [
+            ((self.n_bits if r.success else 0), r.n_symbols)
+            for r in session.run()
+        ]
+
 
 def measure_scheme(
     scheme: RatelessScheme,
@@ -118,19 +199,40 @@ def measure_scheme(
     snr_db: float,
     n_messages: int,
     seed: int = 0,
+    batch_size: int | None = None,
+    capacity_reference: str = "awgn",
 ) -> RateMeasurement:
-    """Run ``n_messages`` through a scheme at one operating point."""
+    """Run ``n_messages`` through a scheme at one operating point.
+
+    ``batch_size`` groups messages into cohorts handed to the scheme's
+    :meth:`~RatelessScheme.run_cohort` (vectorised decoding for schemes
+    that support it); ``None`` keeps the one-message-at-a-time loop.  Both
+    paths consume the master seed identically, so the measurement is the
+    same either way.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     master = np.random.default_rng(seed)
     total_bits = 0
     total_symbols = 0
     n_success = 0
-    for _ in range(n_messages):
-        rng = np.random.default_rng(master.integers(0, 2**63))
-        channel = channel_factory(rng)
-        bits, symbols = scheme.run_message(channel, rng)
-        total_bits += bits
-        total_symbols += symbols
-        n_success += bits > 0
+    done = 0
+    while done < n_messages:
+        cohort = 1 if batch_size is None else min(batch_size, n_messages - done)
+        rngs = [
+            np.random.default_rng(master.integers(0, 2**63))
+            for _ in range(cohort)
+        ]
+        channels = [channel_factory(rng) for rng in rngs]
+        if batch_size is None:
+            outcomes = [scheme.run_message(channels[0], rngs[0])]
+        else:
+            outcomes = scheme.run_cohort(channels, rngs)
+        for bits, symbols in outcomes:
+            total_bits += bits
+            total_symbols += symbols
+            n_success += bits > 0
+        done += cohort
     return RateMeasurement(
         label=scheme.name,
         snr_db=snr_db,
@@ -138,6 +240,7 @@ def measure_scheme(
         n_success=n_success,
         total_bits=total_bits,
         total_symbols=total_symbols,
+        capacity_reference=capacity_reference,
     )
 
 
@@ -151,13 +254,18 @@ def measure_spinal_rate(
     seed: int = 0,
     give_csi: bool = False,
     probe_growth: float = 1.5,
+    batch_size: int | None = None,
+    capacity_reference: str = "awgn",
 ) -> RateMeasurement:
     """Convenience wrapper for spinal-only experiments."""
     scheme = SpinalScheme(
         params, decoder_params, n_bits,
         give_csi=give_csi, probe_growth=probe_growth,
     )
-    return measure_scheme(scheme, channel_factory, snr_db, n_messages, seed)
+    return measure_scheme(
+        scheme, channel_factory, snr_db, n_messages, seed,
+        batch_size=batch_size, capacity_reference=capacity_reference,
+    )
 
 
 def snr_sweep(
@@ -166,12 +274,17 @@ def snr_sweep(
     snrs_db: Sequence[float],
     n_messages: int,
     seed: int = 0,
+    batch_size: int | None = None,
+    capacity_reference: str = "awgn",
 ) -> list[RateMeasurement]:
     """Measure a scheme across an SNR range (1 dB steps in the paper)."""
     out = []
     for i, snr in enumerate(snrs_db):
         factory = lambda rng, s=snr: make_channel(s, rng)  # noqa: E731
         out.append(
-            measure_scheme(scheme, factory, snr, n_messages, seed=seed + 7919 * i)
+            measure_scheme(
+                scheme, factory, snr, n_messages, seed=seed + 7919 * i,
+                batch_size=batch_size, capacity_reference=capacity_reference,
+            )
         )
     return out

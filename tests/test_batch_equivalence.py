@@ -1,0 +1,505 @@
+"""Batched decode pipeline == scalar pipeline, bit for bit.
+
+The batch engine's contract is strict: running M messages as one
+:class:`BatchSession` cohort must reproduce M independent
+:class:`SpinalSession` runs *exactly* — same success flags, symbol counts,
+subpass counts, attempt counts, and (floating-point identical) path costs —
+because each message keeps its own channel/RNG and the vectorised kernels
+preserve the scalar arithmetic ordering.  These tests pin that contract on
+AWGN and BSC, across puncturing schedules and pruning depths, including
+failing messages, and at the measurement layer (`measure_scheme` with and
+without ``batch_size``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel, BSCChannel, RayleighBlockFadingChannel
+from repro.core.decoder import BatchBubbleDecoder, BubbleDecoder
+from repro.core.encoder import BatchSpinalEncoder, SpinalEncoder
+from repro.core.params import DecoderParams, SpinalParams
+from repro.core.symbols import BatchReceivedSymbols, ReceivedSymbols
+from repro.simulation import (
+    BatchSession,
+    SpinalScheme,
+    SpinalSession,
+    measure_scheme,
+)
+from repro.utils.bitops import random_message
+
+
+def _cohort(make_channel, n_bits, n_messages, seed):
+    """(messages, channels, fresh-channel factory) with per-message seeds.
+
+    Mirrors measure_scheme's seeding: one child seed per message drives the
+    channel noise and the message draw, so scalar and batch runs can be
+    handed identical inputs.
+    """
+    master = np.random.default_rng(seed)
+    seeds = [int(master.integers(0, 2**63)) for _ in range(n_messages)]
+
+    def build(child_seed):
+        rng = np.random.default_rng(child_seed)
+        channel = make_channel(rng)
+        message = random_message(n_bits, rng)
+        return message, channel
+
+    pairs = [build(s) for s in seeds]
+    messages = np.stack([m for m, _ in pairs])
+    channels = [c for _, c in pairs]
+    rebuild = lambda: _cohort(make_channel, n_bits, n_messages, seed)  # noqa: E731
+    return messages, channels, rebuild
+
+
+def _assert_results_identical(scalar_results, batch_results):
+    assert len(scalar_results) == len(batch_results)
+    for i, (a, b) in enumerate(zip(scalar_results, batch_results)):
+        assert a.success == b.success, f"message {i}: success differs"
+        assert a.n_symbols == b.n_symbols, f"message {i}: n_symbols differs"
+        assert a.n_subpasses == b.n_subpasses, f"message {i}: n_subpasses differs"
+        assert a.n_attempts == b.n_attempts, f"message {i}: n_attempts differs"
+        assert a.n_bits == b.n_bits
+        if np.isnan(a.path_cost):
+            assert np.isnan(b.path_cost), f"message {i}: path_cost differs"
+        else:
+            # Bitwise equality, not approx: the batch kernels must preserve
+            # the scalar arithmetic exactly.
+            assert a.path_cost == b.path_cost, f"message {i}: path_cost differs"
+
+
+CONFIGS = [
+    # (params, decoder_params, n_bits, channel factory, label)
+    pytest.param(
+        SpinalParams(), DecoderParams(B=32, max_passes=12), 96,
+        lambda rng: AWGNChannel(12, rng=rng), id="awgn-8way"),
+    pytest.param(
+        SpinalParams(puncturing="none"), DecoderParams(B=16, max_passes=10), 64,
+        lambda rng: AWGNChannel(8, rng=rng), id="awgn-nopunct"),
+    pytest.param(
+        SpinalParams(k=2, puncturing="4-way"),
+        DecoderParams(B=8, d=2, max_passes=12), 48,
+        lambda rng: AWGNChannel(10, rng=rng), id="awgn-4way-d2"),
+    pytest.param(
+        SpinalParams(k=3, puncturing="2-way", tail_symbols=3),
+        DecoderParams(B=16, d=3, max_passes=10), 48,
+        lambda rng: AWGNChannel(14, rng=rng), id="awgn-2way-d3-tail3"),
+    pytest.param(
+        SpinalParams.bsc(), DecoderParams(B=32, max_passes=24), 64,
+        lambda rng: BSCChannel(0.05, rng=rng), id="bsc-8way"),
+    pytest.param(
+        SpinalParams.bsc(puncturing="none"),
+        DecoderParams(B=16, d=2, max_passes=16), 32,
+        lambda rng: BSCChannel(0.1, rng=rng), id="bsc-nopunct-d2"),
+    pytest.param(
+        # Heavy noise + tiny budget: most messages fail (give-up path).
+        SpinalParams(), DecoderParams(B=8, max_passes=3), 128,
+        lambda rng: AWGNChannel(-10, rng=rng), id="awgn-failures"),
+]
+
+
+class TestBatchSessionEquivalence:
+    @pytest.mark.parametrize("params,dec,n_bits,make_channel", CONFIGS)
+    @pytest.mark.parametrize("probe_growth", [1.5, 1.0])
+    def test_batch_reproduces_scalar(self, params, dec, n_bits, make_channel,
+                                     probe_growth):
+        messages, channels, rebuild = _cohort(make_channel, n_bits, 6, seed=7)
+        scalar_msgs, scalar_chans, _ = rebuild()
+        assert np.array_equal(messages, scalar_msgs)
+        scalar = [
+            SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
+                          probe_growth=probe_growth).run()
+            for m in range(len(scalar_chans))
+        ]
+        batch = BatchSession(params, dec, messages, channels,
+                             probe_growth=probe_growth).run()
+        _assert_results_identical(scalar, batch)
+
+    def test_many_seeds_property(self):
+        """Same contract over a spread of seeds (mixed success/failure)."""
+        params = SpinalParams()
+        dec = DecoderParams(B=16, max_passes=8)
+        for seed in range(5):
+            messages, channels, rebuild = _cohort(
+                lambda rng: AWGNChannel(6, rng=rng), 64, 4, seed=100 + seed)
+            scalar_msgs, scalar_chans, _ = rebuild()
+            scalar = [
+                SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m]).run()
+                for m in range(4)
+            ]
+            batch = BatchSession(params, dec, messages, channels).run()
+            _assert_results_identical(scalar, batch)
+
+    def test_stateful_channel_falls_back_to_scalar(self):
+        """Fading channels route through the scalar path, same results."""
+        params = SpinalParams()
+        dec = DecoderParams(B=32, max_passes=16)
+        make = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+            18, coherence_time=10, rng=rng)
+        messages, channels, rebuild = _cohort(make, 64, 3, seed=3)
+        assert not all(c.memoryless for c in channels)
+        scalar_msgs, scalar_chans, _ = rebuild()
+        scalar = [
+            SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
+                          give_csi=True).run()
+            for m in range(3)
+        ]
+        batch = BatchSession(params, dec, messages, channels,
+                             give_csi=True).run()
+        _assert_results_identical(scalar, batch)
+
+    def test_csi_mode_falls_back_to_scalar(self):
+        """A decoder that wants to *see* CSI cannot batch — even over
+        memoryless channels the cohort must take the scalar path."""
+        params = SpinalParams()
+        dec = DecoderParams(B=16, max_passes=8)
+        make = lambda rng: AWGNChannel(12, rng=rng)  # noqa: E731
+        messages, channels, rebuild = _cohort(make, 64, 3, seed=9)
+        session = BatchSession(params, dec, messages, channels,
+                               give_csi="full")
+        assert not session._can_batch()
+        scalar_msgs, scalar_chans, _ = rebuild()
+        scalar = [
+            SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
+                          give_csi="full").run()
+            for m in range(3)
+        ]
+        _assert_results_identical(scalar, session.run())
+
+
+class TestBatchDecoderEquivalence:
+    @pytest.mark.parametrize("params,dec,n_bits,make_channel", CONFIGS[:6])
+    def test_decode_batch_matches_scalar_decode(self, params, dec, n_bits,
+                                                make_channel):
+        """One shared prefix: batch decode == per-message scalar decode."""
+        M = 4
+        rng = np.random.default_rng(11)
+        messages = np.stack([random_message(n_bits, rng) for _ in range(M)])
+        channels = [make_channel(np.random.default_rng(50 + m))
+                    for m in range(M)]
+        batch_enc = BatchSpinalEncoder(params, messages)
+        n_subpasses = 2 * batch_enc.subpasses_per_pass
+        block = batch_enc.generate_batch(0, n_subpasses)
+        received = np.stack([
+            channels[m].transmit(block.values[m]).values for m in range(M)
+        ])
+
+        batch_store = BatchReceivedSymbols(
+            batch_enc.n_spine, M, complex_valued=not params.is_bsc)
+        batch_store.add_block(block.spine_indices, block.slots, received)
+        batch_dec = BatchBubbleDecoder(params, dec, n_bits)
+        batch_results = batch_dec.decode_batch(
+            batch_store.prefix(np.arange(M), batch_store.checkpoint()))
+
+        scalar_dec = BubbleDecoder(params, dec, n_bits)
+        for m in range(M):
+            store = ReceivedSymbols(
+                batch_enc.n_spine, complex_valued=not params.is_bsc)
+            store.add_block(block.spine_indices, block.slots, received[m])
+            ref = scalar_dec.decode(store)
+            assert np.array_equal(ref.message_bits,
+                                  batch_results[m].message_bits)
+            assert ref.path_cost == batch_results[m].path_cost
+            assert ref.n_symbols_used == batch_results[m].n_symbols_used
+
+    def test_batch_encoder_matches_scalar_encoder(self):
+        for params in (SpinalParams(), SpinalParams.bsc()):
+            rng = np.random.default_rng(2)
+            messages = np.stack([random_message(48, rng) for _ in range(3)])
+            batch_enc = BatchSpinalEncoder(params, messages)
+            block = batch_enc.generate_batch(0, 5)
+            for m in range(3):
+                enc = SpinalEncoder(params, messages[m])
+                ref = enc.generate(0, 5)
+                assert np.array_equal(ref.spine_indices, block.spine_indices)
+                assert np.array_equal(ref.slots, block.slots)
+                assert np.array_equal(ref.values, block.values[m])
+                assert np.array_equal(enc.spine, batch_enc.spines[m])
+
+
+class TestMeasureSchemeBatching:
+    def _measure(self, batch_size, channel, reference="awgn"):
+        params = SpinalParams() if reference == "awgn" else SpinalParams.bsc()
+        dec = DecoderParams(B=16, max_passes=10)
+        return measure_scheme(
+            SpinalScheme(params, dec, 64), channel,
+            snr_db=10.0, n_messages=7, seed=5,
+            batch_size=batch_size, capacity_reference=reference,
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 16])
+    def test_batched_measurement_identical_awgn(self, batch_size):
+        factory = lambda rng: AWGNChannel(10, rng=rng)  # noqa: E731
+        scalar = self._measure(None, factory)
+        batched = self._measure(batch_size, factory)
+        assert scalar == batched  # dataclass equality: every field
+
+    def test_batched_measurement_identical_bsc(self):
+        factory = lambda rng: BSCChannel(0.05, rng=rng)  # noqa: E731
+        scalar = self._measure(None, factory, reference="bsc")
+        batched = self._measure(4, factory, reference="bsc")
+        assert scalar == batched
+
+    def test_invalid_batch_size(self):
+        factory = lambda rng: AWGNChannel(10, rng=rng)  # noqa: E731
+        with pytest.raises(ValueError):
+            self._measure(0, factory)
+
+
+class TestIncrementalStoreSession:
+    """The per-attempt store-rebuild bugfix: one incremental store with a
+    prefix cursor must leave attempt counts and results unchanged."""
+
+    def _reference_run(self, params, dec, message, channel, probe_growth):
+        """The pre-fix engine: rebuild a fresh store for every attempt."""
+        import math
+
+        encoder = SpinalEncoder(params, message)
+        decoder = BubbleDecoder(params, dec, message.size)
+        blocks = []
+
+        def ensure(count):
+            while len(blocks) < count:
+                block = encoder.generate(len(blocks))
+                out = channel.transmit(block.values)
+                blocks.append((block, out.values))
+
+        attempts = 0
+        last_cost = float("nan")
+
+        def attempt(n):
+            nonlocal attempts, last_cost
+            ensure(n)
+            store = ReceivedSymbols(
+                encoder.n_spine, complex_valued=not params.is_bsc)
+            for block, values in blocks[:n]:
+                store.add_block(block.spine_indices, block.slots, values)
+            result = decoder.decode(store)
+            attempts += 1
+            last_cost = result.path_cost
+            return result.matches(message)
+
+        w = encoder.subpasses_per_pass
+        max_subpasses = dec.max_passes * w
+        lo, g, hi = 0, 1, None
+        while g <= max_subpasses:
+            if attempt(g):
+                hi = g
+                break
+            lo = g
+            if probe_growth == 1.0:
+                g += 1
+            else:
+                g = min(max(g + 1, math.ceil(g * probe_growth)), max_subpasses)
+                if g == lo:
+                    break
+        if hi is None:
+            return (False, None, attempts, last_cost)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if attempt(mid):
+                hi = mid
+            else:
+                lo = mid
+        return (True, hi, attempts, last_cost)
+
+    @pytest.mark.parametrize("probe_growth", [1.0, 1.5])
+    @pytest.mark.parametrize("snr_db", [15, 6])
+    def test_attempts_and_results_unchanged(self, probe_growth, snr_db):
+        params = SpinalParams()
+        dec = DecoderParams(B=16, max_passes=8)
+        for seed in range(3):
+            message = random_message(64, seed)
+            session = SpinalSession(
+                params, dec, message, AWGNChannel(snr_db, rng=seed),
+                probe_growth=probe_growth)
+            result = session.run()
+            success, hi, attempts, last_cost = self._reference_run(
+                params, dec, message, AWGNChannel(snr_db, rng=seed),
+                probe_growth)
+            assert result.success == success
+            assert result.n_attempts == attempts
+            if success:
+                assert result.n_subpasses == hi
+                assert result.path_cost == last_cost
+
+    def test_prefix_view_decode_equals_fresh_store(self):
+        """Decoding any checkpointed prefix == decoding a rebuilt store."""
+        params = SpinalParams()
+        dec = DecoderParams(B=32)
+        message = random_message(64, 21)
+        encoder = SpinalEncoder(params, message)
+        channel = AWGNChannel(10, rng=22)
+        decoder = BubbleDecoder(params, dec, 64)
+
+        store = ReceivedSymbols(encoder.n_spine)
+        checkpoints = [store.checkpoint()]
+        blocks = []
+        for g in range(10):
+            block = encoder.generate(g)
+            values = channel.transmit(block.values).values
+            blocks.append((block, values))
+            store.add_block(block.spine_indices, block.slots, values)
+            checkpoints.append(store.checkpoint())
+        for n in range(1, 11):
+            fresh = ReceivedSymbols(encoder.n_spine)
+            for block, values in blocks[:n]:
+                fresh.add_block(block.spine_indices, block.slots, values)
+            a = decoder.decode(store.prefix(checkpoints[n]))
+            b = decoder.decode(fresh)
+            assert np.array_equal(a.message_bits, b.message_bits)
+            assert a.path_cost == b.path_cost
+            assert a.n_symbols_used == b.n_symbols_used == fresh.n_symbols
+
+
+class TestColumnarStore:
+    def test_scatter_preserves_arrival_order(self):
+        """Multi-subpass blocks with repeated spine positions keep per-spine
+        insertion order (the RNG slot replay depends on it)."""
+        store = ReceivedSymbols(4, complex_valued=False)
+        store.add_block(
+            np.array([2, 0, 3, 3, 2]),
+            np.array([0, 0, 0, 1, 1]),
+            np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        )
+        store.add_block(
+            np.array([2, 1]), np.array([2, 0]), np.array([6.0, 7.0]))
+        slots, values, csi = store.for_spine(2)
+        assert slots.tolist() == [0, 1, 2]
+        assert values.tolist() == [1.0, 5.0, 6.0]
+        assert csi is None
+        slots3, values3, _ = store.for_spine(3)
+        assert slots3.tolist() == [0, 1]
+        assert values3.tolist() == [3.0, 4.0]
+        assert store.n_symbols == 7
+
+    def test_store_validation_errors(self):
+        store = ReceivedSymbols(2)
+        with pytest.raises(ValueError):
+            store.add_block(np.array([0]), np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            store.add_block(np.array([5]), np.array([0]), np.array([1.0 + 0j]))
+        store.add_block(np.array([0]), np.array([0]), np.array([1.0 + 0j]),
+                        csi=np.array([1.0 + 0j]))
+        with pytest.raises(ValueError):  # CSI must keep coming once given
+            store.add_block(np.array([1]), np.array([0]), np.array([1.0 + 0j]))
+
+    def test_csi_cannot_start_late(self):
+        """Zero-filling CSI for pre-CSI symbols would silently corrupt
+        branch costs — the store must refuse instead."""
+        store = ReceivedSymbols(2)
+        store.add_block(np.array([0]), np.array([0]), np.array([1.0 + 0j]))
+        with pytest.raises(ValueError, match="first block"):
+            store.add_block(np.array([1]), np.array([0]),
+                            np.array([1.0 + 0j]), csi=np.array([1.0 + 0j]))
+
+    def test_prefix_checkpoint_validation(self):
+        store = ReceivedSymbols(2)
+        foreign = np.array([5, 5])
+        with pytest.raises(ValueError):
+            store.prefix(foreign)
+
+    def test_batch_store_rows_subset(self):
+        """Rows absent from an add never pollute another row's view."""
+        store = BatchReceivedSymbols(2, 3, complex_valued=False)
+        store.add_block(np.array([0, 1]), np.array([0, 0]),
+                        np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        ckpt1 = store.checkpoint()
+        store.add_block(np.array([0, 1]), np.array([1, 1]),
+                        np.array([[7.0, 8.0]]), rows=np.array([1]))
+        view_all = store.prefix(np.arange(3), ckpt1)
+        slots, vals = view_all.for_spine(0)
+        assert slots.tolist() == [0]
+        assert vals[:, 0].tolist() == [1.0, 3.0, 5.0]
+        view_row1 = store.prefix(np.array([1]), store.checkpoint())
+        slots, vals = view_row1.for_spine(0)
+        assert slots.tolist() == [0, 1]
+        assert vals[0].tolist() == [3.0, 7.0]
+
+
+class TestCapacityReference:
+    def _measurement(self, reference, snr_db=0.05, rate_bits=160,
+                     symbols=400):
+        from repro.simulation import RateMeasurement
+
+        return RateMeasurement(
+            label="x", snr_db=snr_db, n_messages=10, n_success=10,
+            total_bits=rate_bits, total_symbols=symbols,
+            capacity_reference=reference,
+        )
+
+    def test_bsc_fraction_uses_bsc_capacity(self):
+        from repro.channels import bsc_capacity
+
+        m = self._measurement("bsc", snr_db=0.05)
+        assert m.capacity == pytest.approx(bsc_capacity(0.05))
+        assert m.fraction_of_capacity == pytest.approx(
+            m.rate / bsc_capacity(0.05))
+
+    def test_bsc_gap_db_raises(self):
+        m = self._measurement("bsc", snr_db=0.05)
+        with pytest.raises(ValueError, match="AWGN"):
+            m.gap_db
+
+    def test_rayleigh_fraction(self):
+        from repro.channels import rayleigh_capacity
+
+        m = self._measurement("rayleigh", snr_db=10.0)
+        assert m.fraction_of_capacity == pytest.approx(
+            m.rate / rayleigh_capacity(10.0))
+        with pytest.raises(ValueError):
+            m.gap_db
+
+    def test_awgn_default_unchanged(self):
+        from repro.channels import awgn_capacity, gap_to_capacity_db
+
+        m = self._measurement("awgn", snr_db=10.0)
+        assert m.gap_db == pytest.approx(gap_to_capacity_db(m.rate, 10.0))
+        assert m.fraction_of_capacity == pytest.approx(
+            m.rate / awgn_capacity(10.0))
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError, match="capacity reference"):
+            self._measurement("laplace")
+
+    def test_zero_capacity_point(self):
+        """BSC at p=0.5 has zero capacity — no ZeroDivisionError."""
+        m = self._measurement("bsc", snr_db=0.5)
+        assert m.capacity == 0.0
+        assert m.fraction_of_capacity == float("inf")
+        zero = self._measurement("bsc", snr_db=0.5, rate_bits=0)
+        assert zero.fraction_of_capacity == 0.0
+
+
+class TestFlowStatsFold:
+    def test_single_pass_fold_matches_naive(self):
+        from repro.link.protocol import PacketResult
+        from repro.link.stats import FlowStats
+
+        rng = np.random.default_rng(0)
+        stats = FlowStats("f")
+        for i in range(50):
+            stats.add(PacketResult(
+                flow="f", seq=i, success=bool(rng.integers(0, 2)),
+                payload_bits=int(rng.integers(8, 128)),
+                coded_bits=int(rng.integers(128, 256)),
+                n_blocks=1, n_subpasses=int(rng.integers(1, 10)),
+                symbols=int(rng.integers(10, 500)),
+                wasted_symbols=int(rng.integers(0, 50)),
+                retransmissions=int(rng.integers(0, 4)),
+                start_time=0, finish_time=int(rng.integers(1, 1000)),
+            ))
+        rs = stats.results
+        assert stats.n_delivered == sum(r.success for r in rs)
+        assert stats.payload_bits_offered == sum(r.payload_bits for r in rs)
+        assert stats.payload_bits_delivered == sum(
+            r.payload_bits for r in rs if r.success)
+        assert stats.symbols == sum(r.symbols for r in rs)
+        assert stats.wasted_symbols == sum(r.wasted_symbols for r in rs)
+        assert stats.retransmissions == sum(r.retransmissions for r in rs)
+        # cache invalidates on add
+        before = stats.symbols
+        stats.add(PacketResult(
+            flow="f", seq=50, success=True, payload_bits=8, coded_bits=16,
+            n_blocks=1, n_subpasses=1, symbols=100, wasted_symbols=0,
+            retransmissions=0, start_time=0, finish_time=5))
+        assert stats.symbols == before + 100
