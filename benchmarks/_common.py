@@ -12,22 +12,54 @@ the default ``quick`` profile keeps the whole suite in tens of minutes.
 
 from __future__ import annotations
 
-import json
 import os
+import sys
 
 import numpy as np
 
 from repro.channels import AWGNChannel
-from repro.utils.results import ExperimentResult
+from repro.utils.results import ExperimentResult, write_canonical_json
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+RESULTS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "bench_results")
+)
 
 FULL = os.environ.get("REPRO_SCALE", "quick") == "full"
+
+#: The ``repro.experiments`` profile this bench run maps to.
+PROFILE = "full" if FULL else "quick"
+
+#: Content-addressed point cache shared with ``python -m repro.experiments``.
+STORE_DIR = os.path.join(RESULTS_DIR, "store")
 
 
 def scale(quick_value: int, full_value: int) -> int:
     """Pick a trial count / grid density based on the scale profile."""
     return full_value if FULL else quick_value
+
+
+def run_catalog(name: str):
+    """Run a registered experiment through the shared result store.
+
+    Benches migrated onto :mod:`repro.experiments` specs call this instead
+    of hand-rolling their sweep: completed points are served from
+    ``bench_results/store/`` (so a rerun — from pytest or from ``python -m
+    repro.experiments`` — recomputes nothing), and the report prints and
+    writes exactly the series/CSV the pre-migration bench produced.
+    Returns the report's data dict for the bench's assertions.
+    """
+    from repro.experiments import ResultStore, get_entry, run_experiment
+
+    entry = get_entry(name)
+    spec = entry.build(PROFILE)
+    run = run_experiment(spec, store=ResultStore(STORE_DIR))
+    report = entry.report(run, RESULTS_DIR)
+    # accounting goes to stderr so the bench's stdout stays byte-identical
+    # to its pre-migration output
+    print(f"[store] {run.n_cached}/{len(spec.points)} points cached, "
+          f"{run.n_computed} computed -> {run.store_path}",
+          file=sys.stderr)
+    return report
 
 
 def snr_grid(lo: float, hi: float, quick_step: float, full_step: float = 1.0):
@@ -43,6 +75,7 @@ def awgn_factory(snr_db: float):
 
 def finish(result: ExperimentResult) -> None:
     """Print and persist an experiment's series."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
     print()
     print(result.render())
     path = result.write_csv(RESULTS_DIR)
@@ -53,13 +86,12 @@ def write_json(name: str, payload) -> str:
     """Persist a machine-readable result file (``bench_results/<name>.json``).
 
     Keys are sorted so reruns of a deterministic experiment are
-    byte-identical — the same canonical form the link batch runner uses.
+    byte-identical — the same canonical form the link batch runner uses
+    (see :func:`repro.utils.results.write_canonical_json`).
     """
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w") as f:
-        json.dump(payload, f, sort_keys=True, indent=2)
-        f.write("\n")
+    path = write_canonical_json(
+        os.path.join(RESULTS_DIR, f"{name}.json"), payload
+    )
     print(f"[json] {path}")
     return path
 

@@ -3,48 +3,26 @@
 The paper's decoder "achieves the Shannon capacity over both AWGN and BSC
 models"; there is no BSC figure in §8, so this bench charts rate vs the
 BSC capacity 1 - H(p) across flip probabilities as supporting evidence.
+
+The sweep lives in the ``bsc`` entry of ``repro.experiments.catalog``
+(same flip grid, seeds ``500 + i``, batched cohorts, and
+``capacity_reference="bsc"`` as the pre-migration script); reruns are
+served from ``bench_results/store/``.
 """
 
-from repro.channels import BSCChannel, bsc_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
+from repro.channels import bsc_capacity
 
-from _common import finish, run_once, scale
+from _common import run_catalog, run_once
 
 FLIPS = (0.01, 0.05, 0.1, 0.2, 0.3)
 
 
 def _run():
-    n_msgs = scale(3, 10)
-    params = SpinalParams.bsc()
-    dec = DecoderParams(B=256, max_passes=64)
-    rates = {}
-    for i, p in enumerate(FLIPS):
-        # capacity_reference="bsc": the operating-point field carries the
-        # flip probability and relative metrics compare against 1 - H(p)
-        # (gap_db would raise — it is AWGN-only).  The capacity bound
-        # itself is asserted below over the collected rates.
-        m = measure_scheme(
-            SpinalScheme(params, dec, 256),
-            lambda rng, pp=p: BSCChannel(pp, rng=rng),
-            snr_db=p, n_messages=n_msgs, seed=500 + i,
-            batch_size=n_msgs, capacity_reference="bsc")
-        rates[p] = m.rate
-    return rates
+    return run_catalog("bsc")["rates"]
 
 
 def test_bench_bsc(benchmark):
     rates = run_once(benchmark, _run)
-
-    result = ExperimentResult("bsc_rate", "Spinal over BSC (§4.6)",
-                              "flip_probability", "rate_bits_per_use")
-    cap = result.new_series("bsc capacity")
-    meas = result.new_series("spinal k=4 B=256")
-    for p in FLIPS:
-        cap.add(p, bsc_capacity(p))
-        meas.add(p, rates[p])
-    finish(result)
 
     for p in FLIPS:
         capacity = bsc_capacity(p)

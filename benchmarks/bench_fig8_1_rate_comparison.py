@@ -8,105 +8,27 @@ band (the intro's "21% over Raptor / 40% over Strider" table).
 Scaling vs the paper: coarser SNR grid, fewer messages per point, Raptor
 k=2048 (paper 9500), Strider G=12 with ~160-bit layers (paper G=33 with
 1530-bit layers).  Orderings and curve shapes are what this bench asserts.
+
+The sweep itself lives in the ``fig8_1`` entry of
+``repro.experiments.catalog`` (same grids, seeds, and batching as the
+pre-migration script); completed points are served from
+``bench_results/store/``, so reruns — here or via ``python -m
+repro.experiments run fig8_1`` — recompute nothing.
 """
 
-import numpy as np
-
-from repro.channels import awgn_capacity, gap_to_capacity_db
-from repro.core.params import DecoderParams, SpinalParams
-from repro.fountain import RaptorScheme
-from repro.ldpc import ldpc_envelope
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.strider import StriderScheme
-from repro.utils.results import ExperimentResult, render_table
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-
-def _measure_rateless(scheme, snrs, n_messages, seed):
-    out = {}
-    for i, snr in enumerate(snrs):
-        # batch_size vectorises the spinal cohorts; other schemes run their
-        # scalar loop under identical seeding, so results are unchanged.
-        m = measure_scheme(scheme, awgn_factory(snr), snr, n_messages,
-                           seed=seed + 101 * i, batch_size=n_messages)
-        out[snr] = m.rate
-    return out
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(-5, 35, quick_step=5.0)
-    n_msgs = scale(3, 10)
-
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=40)
-    curves = {}
-    curves["spinal n=256"] = _measure_rateless(
-        SpinalScheme(params, dec, 256), snrs, n_msgs, seed=1)
-    curves["spinal n=1024"] = _measure_rateless(
-        SpinalScheme(params, dec, 1024), snrs, scale(2, 6), seed=2)
-    curves["raptor/qam-256"] = _measure_rateless(
-        RaptorScheme(k=2048), snrs, scale(2, 6), seed=3)
-    curves["strider"] = _measure_rateless(
-        StriderScheme(n_bits=1920, n_layers=12, max_passes=30),
-        snrs, scale(2, 5), seed=4)
-    curves["strider+"] = _measure_rateless(
-        StriderScheme(n_bits=1920, n_layers=12, subpasses_per_pass=4,
-                      max_passes=30),
-        snrs, scale(1, 5), seed=5)
-    curves["ldpc envelope"] = {
-        snr: ldpc_envelope(snr, n_blocks=scale(4, 20),
-                           iterations=scale(25, 40), seed=6)[0]
-        for snr in snrs
-    }
-    return snrs, curves
+    report = run_catalog("fig8_1")
+    return report["curves"], report["fractions"]
 
 
 def test_bench_fig8_1(benchmark):
-    snrs, curves = run_once(benchmark, _run)
-
-    # --- panel 1: rate vs SNR ---
-    rates = ExperimentResult("fig8_1_rates", "Rate comparison (Figure 8-1)",
-                             "snr_db", "rate_bits_per_symbol")
-    shannon = rates.new_series("shannon bound")
-    for snr in snrs:
-        shannon.add(snr, awgn_capacity(snr))
-    for label, curve in curves.items():
-        s = rates.new_series(label)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    finish(rates)
-
-    # --- panel 3: gap to capacity ---
-    gaps = ExperimentResult("fig8_1_gaps", "Gap to capacity (Figure 8-1)",
-                            "snr_db", "gap_db")
-    for label, curve in curves.items():
-        s = gaps.new_series(label)
-        for snr in snrs:
-            if curve[snr] > 0:
-                s.add(snr, gap_to_capacity_db(curve[snr], snr))
-    finish(gaps)
-
-    # --- panel 2 / intro table: fraction of capacity by SNR band ---
-    bands = {"< 10dB": lambda s: s < 10,
-             "10-20dB": lambda s: 10 <= s <= 20,
-             "> 20dB": lambda s: s > 20}
-    rows = []
-    fractions = {}
-    for label, curve in curves.items():
-        fractions[label] = {}
-        row = [label]
-        for band, pred in bands.items():
-            pts = [curve[s] / awgn_capacity(s) for s in snrs if pred(s)]
-            frac = float(np.mean(pts)) if pts else float("nan")
-            fractions[label][band] = frac
-            row.append(f"{frac:.2f}")
-        rows.append(row)
-    print()
-    print(render_table(["code", *bands.keys()], rows))
+    curves, fractions = run_once(benchmark, _run)
 
     spinal = fractions["spinal n=256"]
-    for band in bands:
+    for band in spinal:
         # headline result: spinal beats raptor, strider, and the envelope
         assert spinal[band] > fractions["raptor/qam-256"][band]
         assert spinal[band] > fractions["strider"][band]

@@ -4,63 +4,26 @@ Spinal vs Strider+ on the (sigma^2, tau) Rayleigh model at coherence times
 tau = 1, 10, 100 symbols, with both decoders given the per-symbol channel
 coefficients.  Paper: spinal performs similarly at all coherence times and
 beats Strider+ by 11-20% at 10 dB and 13-20% at 20 dB.
+
+The sweep lives in the ``fig8_4`` entry of ``repro.experiments.catalog``
+(same grids and the ``int(snr) + tau`` seeding policy as the
+pre-migration script); reruns are served from ``bench_results/store/``.
 """
 
-from repro.channels import RayleighBlockFadingChannel, rayleigh_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.strider import StriderScheme
-from repro.utils.results import ExperimentResult
+from repro.channels import rayleigh_capacity
 
-from _common import finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 TAUS = (1, 10, 100)
 
 
-def _fading_factory(snr, tau):
-    return lambda rng: RayleighBlockFadingChannel(snr, tau, rng=rng)
-
-
 def _run():
-    snrs = snr_grid(0, 30, quick_step=10.0, full_step=5.0)
-    n_msgs = scale(2, 8)
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=48)
-
-    curves = {}
-    for tau in TAUS:
-        spinal = SpinalScheme(params, dec, 256, give_csi=True,
-                              label=f"spinal tau={tau}")
-        strider = StriderScheme(n_bits=1920, n_layers=12,
-                                subpasses_per_pass=4, max_passes=30,
-                                give_csi=True, label=f"strider+ tau={tau}")
-        curves[f"spinal tau={tau}"] = {
-            snr: measure_scheme(spinal, _fading_factory(snr, tau), snr,
-                                n_msgs, seed=int(snr) + tau).rate
-            for snr in snrs
-        }
-        curves[f"strider+ tau={tau}"] = {
-            snr: measure_scheme(strider, _fading_factory(snr, tau), snr,
-                                scale(1, 5), seed=int(snr) + tau + 7).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("fig8_4")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_fig8_4(benchmark):
     snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_4_fading_csi", "Rayleigh fading with CSI (Figure 8-4)",
-        "snr_db", "rate_bits_per_symbol")
-    cap = result.new_series("fading capacity")
-    for snr in snrs:
-        cap.add(snr, rayleigh_capacity(snr))
-    for label, curve in curves.items():
-        s = result.new_series(label)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    finish(result)
 
     for tau in TAUS:
         for snr in snrs:

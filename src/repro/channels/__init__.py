@@ -5,6 +5,14 @@ from repro.channels.awgn import AWGNChannel
 from repro.channels.bsc import BSCChannel
 from repro.channels.fading import RayleighBlockFadingChannel
 from repro.channels.shared import SharedChannel
+from repro.channels.registry import (
+    ChannelFamily,
+    channel_factory,
+    channel_family,
+    channel_family_names,
+    make_channel,
+    register_channel_family,
+)
 from repro.channels.capacity import (
     awgn_capacity,
     bsc_capacity,
@@ -21,6 +29,12 @@ __all__ = [
     "BSCChannel",
     "RayleighBlockFadingChannel",
     "SharedChannel",
+    "ChannelFamily",
+    "register_channel_family",
+    "channel_family",
+    "channel_family_names",
+    "make_channel",
+    "channel_factory",
     "awgn_capacity",
     "bsc_capacity",
     "rayleigh_capacity",

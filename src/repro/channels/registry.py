@@ -1,0 +1,134 @@
+"""Channel-family registry: one name per medium, shared across layers.
+
+Both the link batch runner (:class:`repro.link.runner.LinkJob`) and the
+experiment orchestrator (:mod:`repro.experiments`) describe a channel as a
+``(family, operating_point, options)`` triple that must survive pickling
+and canonical-JSON serialisation.  This registry is the single place that
+maps those descriptions to live :class:`~repro.channels.base.Channel`
+instances, replacing per-caller string dispatch.
+
+The *operating point* is the one scalar every family is swept over: the
+SNR in dB for AWGN/Rayleigh, the flip probability for a BSC.  ``options``
+carries the family's remaining knobs (e.g. ``coherence_time``); unknown
+option names raise unless the caller opts into ``ignore_unknown`` (the
+link runner does, because :class:`LinkJob` carries a ``coherence_time``
+field even for AWGN jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.channels.awgn import AWGNChannel
+from repro.channels.base import Channel
+from repro.channels.bsc import BSCChannel
+from repro.channels.fading import RayleighBlockFadingChannel
+
+__all__ = [
+    "ChannelFamily",
+    "register_channel_family",
+    "channel_family",
+    "channel_family_names",
+    "make_channel",
+    "channel_factory",
+]
+
+
+@dataclass(frozen=True)
+class ChannelFamily:
+    """One registered medium.
+
+    ``factory(point, rng, **options)`` builds a channel at an operating
+    point; ``options`` names the keyword knobs the factory accepts, and
+    ``point_label`` documents what the operating-point scalar means.
+    """
+
+    name: str
+    factory: Callable[..., Channel]
+    options: tuple[str, ...] = ()
+    point_label: str = "snr_db"
+
+
+_FAMILIES: dict[str, ChannelFamily] = {}
+
+
+def register_channel_family(family: ChannelFamily) -> ChannelFamily:
+    """Register (or replace) a family under ``family.name``."""
+    _FAMILIES[family.name] = family
+    return family
+
+
+def channel_family(name: str) -> ChannelFamily:
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel kind {name!r}; "
+            f"expected one of {sorted(_FAMILIES)}"
+        ) from None
+
+
+def channel_family_names() -> list[str]:
+    return sorted(_FAMILIES)
+
+
+def make_channel(
+    kind: str,
+    point: float,
+    rng: np.random.Generator | int | None = None,
+    options: Mapping[str, object] | None = None,
+    *,
+    ignore_unknown: bool = False,
+) -> Channel:
+    """Build a channel of ``kind`` at operating point ``point``.
+
+    ``options`` supplies family-specific knobs; names the family does not
+    declare raise a ``ValueError`` (or are dropped with
+    ``ignore_unknown=True``).
+    """
+    family = channel_family(kind)
+    opts = dict(options or {})
+    unknown = set(opts) - set(family.options)
+    if unknown:
+        if not ignore_unknown:
+            raise ValueError(
+                f"channel family {kind!r} does not accept options "
+                f"{sorted(unknown)}; accepted: {sorted(family.options)}"
+            )
+        for key in unknown:
+            del opts[key]
+    return family.factory(point, rng, **opts)
+
+
+def channel_factory(
+    kind: str, point: float, options: Mapping[str, object] | None = None
+) -> Callable[[np.random.Generator], Channel]:
+    """A per-message factory ``rng -> Channel`` (the sweep-engine shape)."""
+    frozen = dict(options or {})
+    # validate eagerly so a bad spec fails before any simulation runs
+    channel_family(kind)
+    if frozen:
+        make_channel(kind, point, np.random.default_rng(0), frozen)
+    return lambda rng: make_channel(kind, point, rng, frozen)
+
+
+register_channel_family(ChannelFamily(
+    name="awgn",
+    factory=lambda point, rng: AWGNChannel(point, rng=rng),
+))
+
+register_channel_family(ChannelFamily(
+    name="rayleigh",
+    factory=lambda point, rng, coherence_time=10: RayleighBlockFadingChannel(
+        point, coherence_time=coherence_time, rng=rng),
+    options=("coherence_time",),
+))
+
+register_channel_family(ChannelFamily(
+    name="bsc",
+    factory=lambda point, rng: BSCChannel(point, rng=rng),
+    point_label="flip_probability",
+))

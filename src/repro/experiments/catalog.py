@@ -1,0 +1,406 @@
+"""Registered experiments: paper sweeps as declarative specs.
+
+Each entry pairs a spec builder (profile -> :class:`ExperimentSpec`) with
+a report function that turns an orchestrated run back into the exact
+printed series, tables, and CSV artifacts its legacy ``benchmarks/``
+script produced — the migration contract is byte-identical series output
+at the same seeds, so the specs encode the legacy scripts' seeding
+policies verbatim (``base + 101*i`` per grid index for Figure 8-1,
+``int(snr) + tau`` for Figure 8-4, ``500 + i`` for the BSC chart).
+
+Profiles mirror ``benchmarks/_common.py``: ``quick`` (the default, coarse
+grids) and ``full`` (the paper's density).  The ``smoke`` experiments are
+deliberately tiny specs for CI and tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.channels.capacity import (
+    awgn_capacity,
+    bsc_capacity,
+    gap_to_capacity_db,
+    rayleigh_capacity,
+)
+from repro.experiments.orchestrator import ExperimentRun
+from repro.experiments.spec import (
+    AdaptivePolicy,
+    ChannelSpec,
+    ExperimentSpec,
+    PointSpec,
+    SchemeSpec,
+    grid,
+)
+from repro.utils.results import ExperimentResult, render_table
+
+__all__ = [
+    "CatalogEntry",
+    "build_spec",
+    "catalog_names",
+    "get_entry",
+]
+
+PROFILES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    name: str
+    summary: str
+    build: Callable[[str], ExperimentSpec]
+    report: Callable[[ExperimentRun, str], dict]
+
+
+def _check_profile(profile: str) -> str:
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of {PROFILES}")
+    return profile
+
+
+def _scale(profile: str, quick: int, full: int) -> int:
+    return full if profile == "full" else quick
+
+
+def _finish(result: ExperimentResult, results_dir: str) -> None:
+    """Print and persist one series set (mirrors ``benchmarks/_common``)."""
+    os.makedirs(results_dir, exist_ok=True)
+    print()
+    print(result.render())
+    path = result.write_csv(results_dir)
+    print(f"[csv] {path}")
+
+
+# --------------------------------------------------------------------------
+# fig8_1 — rate comparison (Figure 8-1 + the intro's summary table)
+# --------------------------------------------------------------------------
+
+def _fig8_1_sweep(
+    series: str,
+    scheme: SchemeSpec,
+    snrs: list[float],
+    n_messages: int,
+    base_seed: int,
+) -> list[PointSpec]:
+    """The legacy ``_measure_rateless`` loop as points: seed steps by 101
+    per grid index, cohorts are batched at the full message count."""
+    return [
+        PointSpec(
+            series=series, x=snr, seed=base_seed + 101 * i,
+            scheme=scheme, channel=ChannelSpec("awgn"),
+            n_messages=n_messages, batch_size=n_messages,
+        )
+        for i, snr in enumerate(snrs)
+    ]
+
+
+def _build_fig8_1(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(-5, 35, 5.0 if profile == "quick" else 1.0)
+    n_msgs = _scale(profile, 3, 10)
+    dec = {"B": 256, "max_passes": 40}
+    points: list[PointSpec] = []
+    points += _fig8_1_sweep(
+        "spinal n=256",
+        SchemeSpec("spinal", {"n_bits": 256, "decoder": dec}),
+        snrs, n_msgs, base_seed=1)
+    points += _fig8_1_sweep(
+        "spinal n=1024",
+        SchemeSpec("spinal", {"n_bits": 1024, "decoder": dec}),
+        snrs, _scale(profile, 2, 6), base_seed=2)
+    points += _fig8_1_sweep(
+        "raptor/qam-256",
+        SchemeSpec("raptor", {"k": 2048}),
+        snrs, _scale(profile, 2, 6), base_seed=3)
+    points += _fig8_1_sweep(
+        "strider",
+        SchemeSpec("strider",
+                   {"n_bits": 1920, "n_layers": 12, "max_passes": 30}),
+        snrs, _scale(profile, 2, 5), base_seed=4)
+    points += _fig8_1_sweep(
+        "strider+",
+        SchemeSpec("strider",
+                   {"n_bits": 1920, "n_layers": 12,
+                    "subpasses_per_pass": 4, "max_passes": 30}),
+        snrs, _scale(profile, 1, 5), base_seed=5)
+    points += [
+        PointSpec(
+            series="ldpc envelope", x=snr, seed=6, kind="ldpc_envelope",
+            options={"n_blocks": _scale(profile, 4, 20),
+                     "iterations": _scale(profile, 25, 40)},
+        )
+        for snr in snrs
+    ]
+    return ExperimentSpec(
+        experiment_id="fig8_1",
+        title="Rate comparison (Figure 8-1)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+_FIG8_1_BANDS = {"< 10dB": lambda s: s < 10,
+                 "10-20dB": lambda s: 10 <= s <= 20,
+                 "> 20dB": lambda s: s > 20}
+
+
+def _report_fig8_1(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.rates()
+    snrs = sorted(next(iter(curves.values())))
+
+    rates = ExperimentResult("fig8_1_rates", "Rate comparison (Figure 8-1)",
+                             "snr_db", "rate_bits_per_symbol")
+    shannon = rates.new_series("shannon bound")
+    for snr in snrs:
+        shannon.add(snr, awgn_capacity(snr))
+    for label, curve in curves.items():
+        s = rates.new_series(label)
+        for snr in snrs:
+            s.add(snr, curve[snr])
+    _finish(rates, results_dir)
+
+    gaps = ExperimentResult("fig8_1_gaps", "Gap to capacity (Figure 8-1)",
+                            "snr_db", "gap_db")
+    for label, curve in curves.items():
+        s = gaps.new_series(label)
+        for snr in snrs:
+            if curve[snr] > 0:
+                s.add(snr, gap_to_capacity_db(curve[snr], snr))
+    _finish(gaps, results_dir)
+
+    rows = []
+    fractions: dict[str, dict[str, float]] = {}
+    for label, curve in curves.items():
+        fractions[label] = {}
+        row = [label]
+        for band, pred in _FIG8_1_BANDS.items():
+            pts = [curve[s] / awgn_capacity(s) for s in snrs if pred(s)]
+            frac = float(np.mean(pts)) if pts else float("nan")
+            fractions[label][band] = frac
+            row.append(f"{frac:.2f}")
+        rows.append(row)
+    print()
+    print(render_table(["code", *_FIG8_1_BANDS.keys()], rows))
+    return {"snrs": snrs, "curves": curves, "fractions": fractions}
+
+
+# --------------------------------------------------------------------------
+# bsc — spinal over the binary symmetric channel (§4.6 capacity claim)
+# --------------------------------------------------------------------------
+
+_BSC_FLIPS = (0.01, 0.05, 0.1, 0.2, 0.3)
+
+
+def _build_bsc(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    n_msgs = _scale(profile, 3, 10)
+    scheme = SchemeSpec("spinal", {
+        "n_bits": 256,
+        "params": {"c": 1, "mapping_name": "bsc"},
+        "decoder": {"B": 256, "max_passes": 64},
+    })
+    points = tuple(
+        PointSpec(
+            series="spinal k=4 B=256", x=p, seed=500 + i,
+            scheme=scheme, channel=ChannelSpec("bsc"),
+            n_messages=n_msgs, batch_size=n_msgs,
+            capacity_reference="bsc",
+        )
+        for i, p in enumerate(_BSC_FLIPS)
+    )
+    return ExperimentSpec(
+        experiment_id="bsc",
+        title="Spinal over BSC (§4.6)",
+        profile=profile,
+        points=points,
+    )
+
+
+def _report_bsc(run: ExperimentRun, results_dir: str) -> dict:
+    rates = run.rates()["spinal k=4 B=256"]
+    result = ExperimentResult("bsc_rate", "Spinal over BSC (§4.6)",
+                              "flip_probability", "rate_bits_per_use")
+    cap = result.new_series("bsc capacity")
+    meas = result.new_series("spinal k=4 B=256")
+    for p in _BSC_FLIPS:
+        cap.add(p, bsc_capacity(p))
+        meas.add(p, rates[p])
+    _finish(result, results_dir)
+    return {"rates": rates}
+
+
+# --------------------------------------------------------------------------
+# fig8_4 — Rayleigh fading with exact fading information (Figure 8-4)
+# --------------------------------------------------------------------------
+
+_FIG8_4_TAUS = (1, 10, 100)
+
+
+def _build_fig8_4(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 30, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 2, 8)
+    points: list[PointSpec] = []
+    for tau in _FIG8_4_TAUS:
+        spinal = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "decoder": {"B": 256, "max_passes": 48},
+            "give_csi": True,
+            "label": f"spinal tau={tau}",
+        })
+        strider = SchemeSpec("strider", {
+            "n_bits": 1920, "n_layers": 12, "subpasses_per_pass": 4,
+            "max_passes": 30, "give_csi": True,
+            "label": f"strider+ tau={tau}",
+        })
+        channel = ChannelSpec("rayleigh", {"coherence_time": tau})
+        points += [
+            PointSpec(
+                series=f"spinal tau={tau}", x=snr, seed=int(snr) + tau,
+                scheme=spinal, channel=channel, n_messages=n_msgs,
+            )
+            for snr in snrs
+        ]
+        points += [
+            PointSpec(
+                series=f"strider+ tau={tau}", x=snr, seed=int(snr) + tau + 7,
+                scheme=strider, channel=channel,
+                n_messages=_scale(profile, 1, 5),
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_4",
+        title="Rayleigh fading with CSI (Figure 8-4)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_4(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.rates()
+    snrs = sorted(next(iter(curves.values())))
+    result = ExperimentResult(
+        "fig8_4_fading_csi", "Rayleigh fading with CSI (Figure 8-4)",
+        "snr_db", "rate_bits_per_symbol")
+    cap = result.new_series("fading capacity")
+    for snr in snrs:
+        cap.add(snr, rayleigh_capacity(snr))
+    for label, curve in curves.items():
+        s = result.new_series(label)
+        for snr in snrs:
+            s.add(snr, curve[snr])
+    _finish(result, results_dir)
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# smoke — deliberately tiny specs for CI and the test suite
+# --------------------------------------------------------------------------
+
+def _build_smoke(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    scheme = SchemeSpec("spinal", {
+        "n_bits": 16, "decoder": {"B": 4, "max_passes": 8}})
+    points = tuple(
+        PointSpec(
+            series="spinal tiny", x=snr, seed=9000 + i,
+            scheme=scheme, channel=ChannelSpec("awgn"),
+            n_messages=2, batch_size=2,
+        )
+        for i, snr in enumerate((5.0, 15.0))
+    )
+    return ExperimentSpec(
+        experiment_id="smoke",
+        title="Tiny end-to-end spec (CI smoke)",
+        profile=profile,
+        points=points,
+    )
+
+
+def _build_smoke_adaptive(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    scheme = SchemeSpec("spinal", {
+        "n_bits": 16, "decoder": {"B": 4, "max_passes": 8}})
+    policy = AdaptivePolicy(
+        target_half_width=0.25, confidence=0.95,
+        initial_messages=4, growth=2.0, max_messages=32)
+    points = (
+        PointSpec(
+            series="spinal tiny adaptive", x=10.0, seed=9100,
+            scheme=scheme, channel=ChannelSpec("awgn"),
+            batch_size=4, adaptive=policy,
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id="smoke_adaptive",
+        title="Tiny adaptive-sampling spec (CI smoke)",
+        profile=profile,
+        points=points,
+    )
+
+
+def _report_generic(run: ExperimentRun, results_dir: str) -> dict:
+    """Plain rate-vs-x dump for experiments without a paper figure."""
+    result = ExperimentResult(
+        run.spec.experiment_id, run.spec.title, "x", "rate")
+    curves = run.rates()
+    for label, curve in curves.items():
+        s = result.new_series(label)
+        for x in sorted(curve):
+            s.add(x, curve[x])
+    _finish(result, results_dir)
+    return {"curves": curves}
+
+
+# --------------------------------------------------------------------------
+
+CATALOG: dict[str, CatalogEntry] = {
+    entry.name: entry for entry in (
+        CatalogEntry(
+            "fig8_1",
+            "rate vs SNR for all schemes + gap panel + capacity-fraction "
+            "table (Figure 8-1)",
+            _build_fig8_1, _report_fig8_1),
+        CatalogEntry(
+            "bsc",
+            "spinal rate vs BSC flip probability against 1 - H(p) (§4.6)",
+            _build_bsc, _report_bsc),
+        CatalogEntry(
+            "fig8_4",
+            "Rayleigh fading with CSI: spinal vs Strider+ at tau=1/10/100 "
+            "(Figure 8-4)",
+            _build_fig8_4, _report_fig8_4),
+        CatalogEntry(
+            "smoke",
+            "tiny fixed-count spec: two AWGN points, seconds to run",
+            _build_smoke, _report_generic),
+        CatalogEntry(
+            "smoke_adaptive",
+            "tiny adaptive-sampling spec: one point, sequential stopping",
+            _build_smoke_adaptive, _report_generic),
+    )
+}
+
+
+def catalog_names() -> list[str]:
+    return sorted(CATALOG)
+
+
+def get_entry(name: str) -> CatalogEntry:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; "
+            f"known: {', '.join(catalog_names())}"
+        ) from None
+
+
+def build_spec(name: str, profile: str = "quick") -> ExperimentSpec:
+    return get_entry(name).build(profile)

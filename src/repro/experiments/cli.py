@@ -1,0 +1,149 @@
+"""``python -m repro.experiments`` — list/run/resume/export experiments.
+
+``run`` computes only what the content-addressed store is missing, so
+running the same experiment twice serves the second run entirely from the
+store — the accounting line at the end says exactly how many points were
+cached vs simulated, and ``--expect-cached`` turns "zero new simulation
+jobs" into an exit code for CI.  ``resume`` is an alias for ``run``: an
+interrupted sweep left its completed points in the store, so resuming is
+just running again.  ``export`` re-renders reports (prints + CSV) from
+the store without simulating anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.catalog import PROFILES, catalog_names, get_entry
+from repro.experiments.orchestrator import run_experiment
+from repro.experiments.spec import point_hash, spec_hash
+from repro.experiments.store import ResultStore
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("name", help="experiment name (see `list`)")
+    parser.add_argument("--profile", default="quick", choices=PROFILES,
+                        help="sweep density (default: quick)")
+    parser.add_argument("--store", default="bench_results/store",
+                        help="store directory, resolved against the cwd "
+                             "(default: bench_results/store — run from the "
+                             "repo root to share the benches' cache)")
+    parser.add_argument("--results-dir", default="bench_results",
+                        help="where reports write CSV artifacts "
+                             "(cwd-relative)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Declarative sweep orchestration with a "
+                    "content-addressed result store.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    for cmd, help_text in (
+            ("run", "run an experiment (store-resident points are skipped)"),
+            ("resume", "alias for run: continue an interrupted sweep")):
+        p = sub.add_parser(cmd, help=help_text)
+        _add_common(p)
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per core)")
+        p.add_argument("--fresh", action="store_true",
+                       help="discard this spec's cached points first")
+        p.add_argument("--expect-cached", action="store_true",
+                       help="exit 1 if any simulation job had to run "
+                            "(CI store-hit assertion)")
+        p.add_argument("--no-report", action="store_true",
+                       help="skip the report (prints + CSV); just fill "
+                            "the store")
+
+    p = sub.add_parser("show", help="print an experiment's spec and "
+                                    "store status")
+    _add_common(p)
+
+    p = sub.add_parser("export", help="re-render reports from the store "
+                                      "(no simulation)")
+    _add_common(p)
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in catalog_names():
+        entry = get_entry(name)
+        print(f"{name:16} {entry.summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    entry = get_entry(args.name)
+    spec = entry.build(args.profile)
+    store = ResultStore(args.store)
+    if args.fresh and store.discard(spec):
+        print(f"[store] discarded {store.path_for(spec)}")
+    run = run_experiment(spec, store=store, n_workers=args.workers,
+                         progress=lambda msg: print(msg, file=sys.stderr))
+    if not args.no_report:
+        entry.report(run, args.results_dir)
+    print(f"[store] {run.n_cached}/{len(spec.points)} points cached, "
+          f"{run.n_computed} computed -> {run.store_path}")
+    if args.expect_cached and run.n_computed > 0:
+        print(f"[store] FAIL: expected a full store hit but "
+              f"{run.n_computed} points were simulated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    entry = get_entry(args.name)
+    spec = entry.build(args.profile)
+    store = ResultStore(args.store)
+    known = store.load(spec)
+    print(f"{spec.experiment_id}: {spec.title}")
+    print(f"profile:   {spec.profile}")
+    print(f"spec hash: {spec_hash(spec)}")
+    print(f"store:     {store.path_for(spec)}")
+    print(f"points:    {len(spec.points)} "
+          f"({sum(point_hash(p) in known for p in spec.points)} cached)")
+    for point in spec.points:
+        state = "cached" if point_hash(point) in known else "missing"
+        print(f"  [{state:7}] {point.series} @ x={point.x:g} "
+              f"seed={point.seed} kind={point.kind}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    entry = get_entry(args.name)
+    spec = entry.build(args.profile)
+    store = ResultStore(args.store)
+    known = store.load(spec)
+    missing = [p for p in spec.points if point_hash(p) not in known]
+    if missing:
+        print(f"cannot export {args.name}: {len(missing)} of "
+              f"{len(spec.points)} points missing from the store; "
+              f"run `python -m repro.experiments run {args.name} "
+              f"--profile {args.profile}` first", file=sys.stderr)
+        return 1
+    run = run_experiment(spec, store=store, n_workers=1)
+    entry.report(run, args.results_dir)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command in ("run", "resume"):
+        return _cmd_run(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Multiprocessing point runner with the byte-identical worker guarantee.
+
+Generalizes the discipline proven in :mod:`repro.link.runner` from link
+jobs to simulation sweeps: each :class:`~repro.experiments.spec.PointSpec`
+is a self-contained, fully-seeded, picklable job; workers rebuild the
+scheme and channel factory from the registries and run the batched decode
+pipeline locally; results stream back in job order through
+:func:`repro.utils.parallel.imap_jobs`.  Nothing depends on worker
+identity or scheduling, so the same spec at ``n_workers=1`` and
+``n_workers=8`` produces identical store contents — the property
+``tests/test_experiments.py`` locks in.
+
+Completed points are flushed to the store as they arrive, which is what
+makes an interrupted sweep resumable: the next run computes only the
+missing points.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.channels.registry import channel_factory
+from repro.experiments.adaptive import adaptive_measure
+from repro.experiments.spec import (
+    ExperimentSpec,
+    PointSpec,
+    make_scheme,
+    point_hash,
+)
+from repro.experiments.store import ResultStore
+from repro.simulation.sweep import measure_scheme
+from repro.utils.parallel import imap_jobs
+
+__all__ = ["ExperimentRun", "run_point", "run_experiment"]
+
+
+def _run_measure(point: PointSpec) -> dict:
+    scheme = make_scheme(point.scheme)
+    factory = channel_factory(
+        point.channel.kind, point.x, point.channel.options)
+    if point.adaptive is not None:
+        measurement, trace = adaptive_measure(
+            scheme, factory, point.x, point.adaptive,
+            seed=point.seed, batch_size=point.batch_size,
+            capacity_reference=point.capacity_reference)
+        record = measurement.as_dict()
+        record["adaptive"] = trace
+    else:
+        record = measure_scheme(
+            scheme, factory, point.x, point.n_messages,
+            seed=point.seed, batch_size=point.batch_size,
+            capacity_reference=point.capacity_reference).as_dict()
+    return record
+
+
+def _run_ldpc_envelope(point: PointSpec) -> dict:
+    from repro.ldpc import ldpc_envelope
+    rate, best = ldpc_envelope(
+        point.x,
+        n_blocks=int(point.options.get("n_blocks", 10)),
+        iterations=int(point.options.get("iterations", 40)),
+        seed=point.seed,
+    )
+    return {"rate": float(rate), "best_operating_point": best}
+
+
+_RUNNERS: dict[str, Callable[[PointSpec], dict]] = {
+    "measure": _run_measure,
+    "ldpc_envelope": _run_ldpc_envelope,
+}
+
+
+def run_point(point: PointSpec) -> dict:
+    """Execute one point job (in a worker); returns a JSON-safe record.
+
+    Every record carries ``series`` and ``x`` so a store file can be read
+    back into curves without the defining spec in hand.
+    """
+    try:
+        runner = _RUNNERS[point.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown point kind {point.kind!r}; "
+            f"expected one of {sorted(_RUNNERS)}"
+        ) from None
+    record = runner(point)
+    record["series"] = point.series
+    record["x"] = float(point.x)
+    return record
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one orchestrated run: all point records plus accounting."""
+
+    spec: ExperimentSpec
+    results: dict[str, dict]          # point hash -> record
+    n_cached: int = 0                 # points served from the store
+    n_computed: int = 0               # simulation jobs actually run
+    store_path: str | None = None
+
+    def record_for(self, point: PointSpec) -> dict:
+        return self.results[point_hash(point)]
+
+    def curves(self) -> dict[str, dict[float, dict]]:
+        """``series label -> {x -> record}`` in spec point order."""
+        out: dict[str, dict[float, dict]] = {}
+        for point in self.spec.points:
+            out.setdefault(point.series, {})[point.x] = self.record_for(point)
+        return out
+
+    def rates(self) -> dict[str, dict[float, float]]:
+        """``series label -> {x -> measured rate}`` (the common shape)."""
+        return {
+            series: {x: rec["rate"] for x, rec in curve.items()}
+            for series, curve in self.curves().items()
+        }
+
+
+@dataclass
+class _NullProgress:
+    """Default progress sink: silent."""
+
+    def __call__(self, message: str) -> None:  # pragma: no cover
+        pass
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    store: ResultStore | None = None,
+    n_workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentRun:
+    """Run (or resume) a spec, computing only points the store is missing.
+
+    ``store=None`` computes everything and persists nothing (useful in
+    tests).  With a store, every completed point is flushed immediately so
+    interruptions lose at most the points in flight.
+    """
+    progress = progress or _NullProgress()
+    hashes = [point_hash(p) for p in spec.points]
+    if len(set(hashes)) != len(hashes):
+        raise ValueError(
+            f"spec {spec.experiment_id!r} contains duplicate points; "
+            "every point must be a distinct job"
+        )
+    results: dict[str, dict] = {}
+    if store is not None:
+        known = store.load(spec)
+        results = {h: known[h] for h in hashes if h in known}
+    n_cached = len(results)
+    missing = [(h, p) for h, p in zip(hashes, spec.points)
+               if h not in results]
+    progress(f"{spec.experiment_id}: {n_cached}/{len(hashes)} points cached, "
+             f"computing {len(missing)}")
+    store_path = store.path_for(spec) if store is not None else None
+    for (h, point), record in zip(
+            missing,
+            imap_jobs(run_point, [p for _, p in missing], n_workers)):
+        results[h] = record
+        if store is not None:
+            # flush incrementally: an interrupted sweep resumes from here
+            store.save(spec, results)
+        progress(f"  done {point.series} @ x={point.x:g} "
+                 f"({len(results)}/{len(hashes)})")
+    if store is not None and not missing and not os.path.exists(store_path):
+        # the in-loop flush already wrote the final state whenever anything
+        # ran; this only materializes the file for an empty spec
+        store.save(spec, results)
+    return ExperimentRun(
+        spec=spec,
+        results=results,
+        n_cached=n_cached,
+        n_computed=len(missing),
+        store_path=store_path,
+    )

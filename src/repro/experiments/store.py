@@ -1,0 +1,62 @@
+"""Content-addressed on-disk result store.
+
+One file per experiment spec — ``<store-root>/<spec-hash>.json`` — holding
+a ``points`` map from point hash to result record.  Because both hashes
+are derived from the spec's canonical JSON, a rerun of an unchanged spec
+finds every completed point already present and runs zero simulation
+jobs, and an interrupted sweep resumes from whatever points were flushed
+(the orchestrator flushes after every completed point).
+
+Files are written in the repo's canonical JSON form (sorted keys), so the
+store contents for a deterministic spec are byte-identical no matter how
+many workers computed them or in what order points finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.spec import ExperimentSpec, spec_hash
+from repro.utils.results import write_canonical_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Per-spec point-result cache rooted at ``root`` (a directory)."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+
+    def path_for(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.root, f"{spec_hash(spec)}.json")
+
+    def load(self, spec: ExperimentSpec) -> dict[str, dict]:
+        """Completed point records for this spec (empty if none yet)."""
+        path = self.path_for(spec)
+        if not os.path.exists(path):
+            return {}
+        with open(path) as f:
+            payload = json.load(f)
+        return dict(payload.get("points", {}))
+
+    def save(self, spec: ExperimentSpec, points: dict[str, dict]) -> str:
+        """Write the spec's store file; returns the file path.
+
+        The spec itself is embedded so a store file is self-describing —
+        you can tell which sweep produced it without the defining code.
+        """
+        return write_canonical_json(self.path_for(spec), {
+            "spec_hash": spec_hash(spec),
+            "spec": spec.as_dict(),
+            "points": dict(points),
+        })
+
+    def discard(self, spec: ExperimentSpec) -> bool:
+        """Drop this spec's cached results (``run --fresh``)."""
+        path = self.path_for(spec)
+        if os.path.exists(path):
+            os.remove(path)
+            return True
+        return False

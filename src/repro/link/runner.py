@@ -18,19 +18,17 @@ changing its numbers.
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channels.awgn import AWGNChannel
 from repro.channels.base import Channel
-from repro.channels.fading import RayleighBlockFadingChannel
+from repro.channels.registry import make_channel
 from repro.core.params import DecoderParams, SpinalParams
 from repro.link.protocol import LinkConfig, LinkSession, payload_for
 from repro.link.stats import FlowStats
+from repro.utils.parallel import map_jobs
+from repro.utils.results import canonical_json
 
 __all__ = ["LinkJob", "run_job", "run_batch", "results_json"]
 
@@ -39,8 +37,9 @@ __all__ = ["LinkJob", "run_job", "run_batch", "results_json"]
 class LinkJob:
     """One self-contained link simulation (picklable, fully seeded).
 
-    ``channel`` selects the medium: ``"awgn"`` or ``"rayleigh"`` (the
-    latter honours ``coherence_time``, as in §8.3).
+    ``channel`` names a registered channel family (see
+    :mod:`repro.channels.registry`): ``"awgn"``, ``"rayleigh"`` (honours
+    ``coherence_time``, as in §8.3) or ``"bsc"``.
     """
 
     job_id: str
@@ -55,12 +54,12 @@ class LinkJob:
     coherence_time: int = 10
 
     def make_channel(self, rng: np.random.Generator) -> Channel:
-        if self.channel == "awgn":
-            return AWGNChannel(self.snr_db, rng=rng)
-        if self.channel == "rayleigh":
-            return RayleighBlockFadingChannel(
-                self.snr_db, coherence_time=self.coherence_time, rng=rng)
-        raise ValueError(f"unknown channel kind {self.channel!r}")
+        # The registry validates the family name; coherence_time is simply
+        # dropped for families that do not take it (every job carries the
+        # field, but only rayleigh uses it).
+        return make_channel(
+            self.channel, self.snr_db, rng,
+            {"coherence_time": self.coherence_time}, ignore_unknown=True)
 
 
 def run_job(job: LinkJob) -> dict:
@@ -95,16 +94,9 @@ def run_batch(
     ``n_workers=1`` runs inline, which is also the fallback when only one
     job exists — handy under debuggers and on single-core boxes.
     """
-    if n_workers is None:
-        n_workers = min(len(jobs), os.cpu_count() or 1)
-    if n_workers <= 1 or len(jobs) <= 1:
-        return [run_job(job) for job in jobs]
-    # chunksize=1 keeps the shard boundaries independent of worker count;
-    # map() already guarantees result order matches job order.
-    with multiprocessing.Pool(processes=n_workers) as pool:
-        return pool.map(run_job, jobs, chunksize=1)
+    return map_jobs(run_job, jobs, n_workers)
 
 
 def results_json(results: list[dict]) -> str:
     """Canonical JSON for a batch (the byte-identical comparison format)."""
-    return json.dumps(results, sort_keys=True, indent=2)
+    return canonical_json(results)

@@ -13,6 +13,8 @@ from repro.simulation.sweep import (
     SpinalScheme,
     measure_scheme,
     measure_spinal_rate,
+    merge_measurements,
+    run_messages,
     snr_sweep,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "SpinalScheme",
     "measure_scheme",
     "measure_spinal_rate",
+    "merge_measurements",
+    "run_messages",
     "snr_sweep",
 ]

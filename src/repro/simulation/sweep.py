@@ -37,6 +37,8 @@ __all__ = [
     "SpinalScheme",
     "measure_scheme",
     "measure_spinal_rate",
+    "merge_measurements",
+    "run_messages",
     "snr_sweep",
 ]
 
@@ -118,6 +120,63 @@ class RateMeasurement:
             return 0.0 if self.rate == 0.0 else float("inf")
         return self.rate / capacity
 
+    def as_dict(self) -> dict:
+        """JSON-safe record (the experiment store's on-disk point format)."""
+        return {
+            "label": self.label,
+            "snr_db": float(self.snr_db),
+            "n_messages": int(self.n_messages),
+            "n_success": int(self.n_success),
+            "total_bits": int(self.total_bits),
+            "total_symbols": int(self.total_symbols),
+            "capacity_reference": self.capacity_reference,
+            "rate": self.rate,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RateMeasurement":
+        return cls(
+            label=record["label"],
+            snr_db=float(record["snr_db"]),
+            n_messages=int(record["n_messages"]),
+            n_success=int(record["n_success"]),
+            total_bits=int(record["total_bits"]),
+            total_symbols=int(record["total_symbols"]),
+            capacity_reference=record.get("capacity_reference", "awgn"),
+        )
+
+
+def merge_measurements(
+    measurements: Sequence["RateMeasurement"],
+) -> "RateMeasurement":
+    """Pool several cohorts of the *same* operating point into one record.
+
+    This is the growth half of the adaptive-sampling API: run extra
+    message cohorts (each with its own seed), then merge the counts.  All
+    inputs must agree on label, operating point, and capacity reference —
+    merging different points would silently average apples and oranges.
+    """
+    if not measurements:
+        raise ValueError("need at least one measurement to merge")
+    head = measurements[0]
+    for m in measurements[1:]:
+        if (m.label, m.snr_db, m.capacity_reference) != (
+                head.label, head.snr_db, head.capacity_reference):
+            raise ValueError(
+                "refusing to merge measurements of different points: "
+                f"{(head.label, head.snr_db, head.capacity_reference)} vs "
+                f"{(m.label, m.snr_db, m.capacity_reference)}"
+            )
+    return RateMeasurement(
+        label=head.label,
+        snr_db=head.snr_db,
+        n_messages=sum(m.n_messages for m in measurements),
+        n_success=sum(m.n_success for m in measurements),
+        total_bits=sum(m.total_bits for m in measurements),
+        total_symbols=sum(m.total_symbols for m in measurements),
+        capacity_reference=head.capacity_reference,
+    )
+
 
 class RatelessScheme:
     """One code plugged into the shared measurement engine.
@@ -193,6 +252,45 @@ class SpinalScheme(RatelessScheme):
         ]
 
 
+def run_messages(
+    scheme: RatelessScheme,
+    channel_factory: ChannelFactory,
+    n_messages: int,
+    seed: int = 0,
+    batch_size: int | None = None,
+) -> list[tuple[int, int]]:
+    """Per-message ``(bits_delivered, symbols_used)`` outcomes at one point.
+
+    The primitive both :func:`measure_scheme` and the adaptive sampler
+    build on: every message's RNG derives from the master ``seed`` in
+    message order, so the outcome list is a pure function of
+    ``(scheme, factory, n_messages, seed)`` regardless of batching.
+    ``batch_size`` groups messages into cohorts handed to the scheme's
+    :meth:`~RatelessScheme.run_cohort` (vectorised decoding for schemes
+    that support it); ``None`` keeps the one-message-at-a-time loop.  Both
+    paths consume the master seed identically, so the outcomes are the
+    same either way.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    master = np.random.default_rng(seed)
+    outcomes: list[tuple[int, int]] = []
+    done = 0
+    while done < n_messages:
+        cohort = 1 if batch_size is None else min(batch_size, n_messages - done)
+        rngs = [
+            np.random.default_rng(master.integers(0, 2**63))
+            for _ in range(cohort)
+        ]
+        channels = [channel_factory(rng) for rng in rngs]
+        if batch_size is None:
+            outcomes.append(scheme.run_message(channels[0], rngs[0]))
+        else:
+            outcomes.extend(scheme.run_cohort(channels, rngs))
+        done += cohort
+    return outcomes
+
+
 def measure_scheme(
     scheme: RatelessScheme,
     channel_factory: ChannelFactory,
@@ -204,35 +302,14 @@ def measure_scheme(
 ) -> RateMeasurement:
     """Run ``n_messages`` through a scheme at one operating point.
 
-    ``batch_size`` groups messages into cohorts handed to the scheme's
-    :meth:`~RatelessScheme.run_cohort` (vectorised decoding for schemes
-    that support it); ``None`` keeps the one-message-at-a-time loop.  Both
-    paths consume the master seed identically, so the measurement is the
-    same either way.
+    A thin aggregation over :func:`run_messages` (which documents the
+    seeding and batching contract).
     """
-    if batch_size is not None and batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
-    master = np.random.default_rng(seed)
-    total_bits = 0
-    total_symbols = 0
-    n_success = 0
-    done = 0
-    while done < n_messages:
-        cohort = 1 if batch_size is None else min(batch_size, n_messages - done)
-        rngs = [
-            np.random.default_rng(master.integers(0, 2**63))
-            for _ in range(cohort)
-        ]
-        channels = [channel_factory(rng) for rng in rngs]
-        if batch_size is None:
-            outcomes = [scheme.run_message(channels[0], rngs[0])]
-        else:
-            outcomes = scheme.run_cohort(channels, rngs)
-        for bits, symbols in outcomes:
-            total_bits += bits
-            total_symbols += symbols
-            n_success += bits > 0
-        done += cohort
+    outcomes = run_messages(
+        scheme, channel_factory, n_messages, seed, batch_size)
+    total_bits = sum(bits for bits, _ in outcomes)
+    total_symbols = sum(symbols for _, symbols in outcomes)
+    n_success = sum(bits > 0 for bits, _ in outcomes)
     return RateMeasurement(
         label=scheme.name,
         snr_db=snr_db,

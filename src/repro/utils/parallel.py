@@ -1,0 +1,62 @@
+"""Deterministic job-order multiprocessing core.
+
+Extracted from ``repro.link.runner`` so the link batch runner and the
+experiment orchestrator share one worker-pool discipline:
+
+- every job is a self-contained picklable value carrying its own seed, so
+  nothing depends on worker identity or scheduling order;
+- ``chunksize=1`` keeps shard boundaries independent of worker count;
+- results always come back in job order.
+
+Consequently ``n_workers=1`` and ``n_workers=8`` produce byte-identical
+output for any deterministic job function — the guarantee
+``tests/test_link.py`` and ``tests/test_experiments.py`` lock in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterator, Sequence, TypeVar
+
+__all__ = ["imap_jobs", "map_jobs", "resolve_workers"]
+
+J = TypeVar("J")
+R = TypeVar("R")
+
+
+def resolve_workers(n_jobs: int, n_workers: int | None) -> int:
+    """``None`` means one worker per core, capped by the job count."""
+    if n_workers is None:
+        n_workers = min(n_jobs, os.cpu_count() or 1)
+    return max(1, n_workers)
+
+
+def imap_jobs(
+    fn: Callable[[J], R],
+    jobs: Sequence[J],
+    n_workers: int | None = None,
+) -> Iterator[R]:
+    """Yield ``fn(job)`` for each job, in job order, as results complete.
+
+    With one worker (or one job) everything runs inline — handy under
+    debuggers and on single-core boxes.  Results stream as they finish so
+    callers can persist incrementally (the experiment store flushes after
+    every yielded point, which is what makes interrupted sweeps resumable).
+    """
+    n_workers = resolve_workers(len(jobs), n_workers)
+    if n_workers <= 1 or len(jobs) <= 1:
+        for job in jobs:
+            yield fn(job)
+        return
+    with multiprocessing.Pool(processes=n_workers) as pool:
+        yield from pool.imap(fn, jobs, chunksize=1)
+
+
+def map_jobs(
+    fn: Callable[[J], R],
+    jobs: Sequence[J],
+    n_workers: int | None = None,
+) -> list[R]:
+    """Like :func:`imap_jobs` but collects the full result list."""
+    return list(imap_jobs(fn, jobs, n_workers))

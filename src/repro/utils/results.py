@@ -8,10 +8,48 @@ all fourteen experiments.
 from __future__ import annotations
 
 import csv
+import json
 import os
 from dataclasses import dataclass, field
 
-__all__ = ["SeriesResult", "ExperimentResult", "render_table", "render_ascii_plot"]
+__all__ = [
+    "SeriesResult",
+    "ExperimentResult",
+    "canonical_json",
+    "write_canonical_json",
+    "render_table",
+    "render_ascii_plot",
+]
+
+
+def canonical_json(payload) -> str:
+    """Canonical JSON text: sorted keys, 2-space indent, no trailing newline.
+
+    This is the byte-identical comparison format shared by the link batch
+    runner, the benchmark JSON artifacts, and the experiment result store —
+    rerunning a deterministic experiment must reproduce the file exactly.
+    """
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def write_canonical_json(path: str, payload) -> str:
+    """Write ``payload`` as canonical JSON (plus trailing newline) to ``path``.
+
+    Creates the parent directory if needed; returns ``path``.  The write
+    is atomic (temp file + rename) so an interrupt never leaves a
+    truncated file — the experiment store flushes through here after
+    every completed point, and a half-written store would turn "resume
+    the sweep" into "JSONDecodeError".
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        f.write(canonical_json(payload))
+        f.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 @dataclass

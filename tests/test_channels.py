@@ -160,3 +160,65 @@ class TestCapacity:
     @settings(max_examples=30)
     def test_capacity_monotone(self, snr):
         assert awgn_capacity(snr + 1.0) > awgn_capacity(snr)
+
+
+class TestChannelRegistry:
+    """The shared channel-family registry (used by LinkJob and specs)."""
+
+    def test_families_registered(self):
+        from repro.channels import channel_family_names
+        assert {"awgn", "bsc", "rayleigh"} <= set(channel_family_names())
+
+    def test_make_awgn(self):
+        from repro.channels import make_channel
+        ch = make_channel("awgn", 10.0, rng=0)
+        assert isinstance(ch, AWGNChannel)
+        assert ch.snr_db == 10.0
+
+    def test_make_rayleigh_honours_coherence_time(self):
+        from repro.channels import make_channel
+        ch = make_channel("rayleigh", 10.0, rng=0,
+                          options={"coherence_time": 25})
+        assert isinstance(ch, RayleighBlockFadingChannel)
+        assert ch.coherence_time == 25
+
+    def test_make_bsc_point_is_flip_probability(self):
+        from repro.channels import channel_family, make_channel
+        ch = make_channel("bsc", 0.1, rng=0)
+        assert isinstance(ch, BSCChannel)
+        assert ch.flip_probability == 0.1
+        assert channel_family("bsc").point_label == "flip_probability"
+
+    def test_unknown_family_raises(self):
+        from repro.channels import make_channel
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            make_channel("laplace", 10.0)
+
+    def test_unknown_option_raises_unless_ignored(self):
+        from repro.channels import make_channel
+        with pytest.raises(ValueError, match="does not accept options"):
+            make_channel("awgn", 10.0, rng=0,
+                         options={"coherence_time": 5})
+        ch = make_channel("awgn", 10.0, rng=0,
+                          options={"coherence_time": 5},
+                          ignore_unknown=True)
+        assert isinstance(ch, AWGNChannel)
+
+    def test_channel_factory_validates_eagerly(self):
+        from repro.channels import channel_factory
+        with pytest.raises(ValueError):
+            channel_factory("rayleigh", 10.0, {"coherence": 5})  # typo
+        factory = channel_factory("rayleigh", 10.0, {"coherence_time": 5})
+        ch = factory(np.random.default_rng(0))
+        assert ch.coherence_time == 5
+
+    def test_link_job_uses_registry(self):
+        from repro.link.runner import LinkJob
+        rng = np.random.default_rng(0)
+        awgn = LinkJob("a", 1, 10.0, channel="awgn").make_channel(rng)
+        assert isinstance(awgn, AWGNChannel)
+        fading = LinkJob("b", 1, 10.0, channel="rayleigh",
+                         coherence_time=17).make_channel(rng)
+        assert fading.coherence_time == 17
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            LinkJob("c", 1, 10.0, channel="nope").make_channel(rng)

@@ -1,0 +1,449 @@
+"""Tests for repro.experiments: specs, store, orchestrator, adaptive, CLI.
+
+The load-bearing properties:
+
+- spec hashing is canonical (field order never matters) and injective
+  enough (different points/specs get different addresses);
+- the orchestrator produces identical store contents for any worker
+  count (the link-runner guarantee generalized to simulation jobs);
+- reruns are served from the store with zero new simulation jobs, and a
+  partially-filled store resumes by computing only the missing points;
+- adaptive sampling stops at the configured half-width with a
+  deterministic trial count.
+"""
+
+import pytest
+
+from repro.experiments import (
+    AdaptivePolicy,
+    ChannelSpec,
+    ExperimentSpec,
+    PointSpec,
+    ResultStore,
+    SchemeSpec,
+    adaptive_measure,
+    build_spec,
+    catalog_names,
+    grid,
+    make_scheme,
+    point_hash,
+    run_experiment,
+    run_point,
+    spec_hash,
+    z_score,
+)
+from repro.experiments.cli import main as cli_main
+from repro.simulation.sweep import RatelessScheme
+
+
+def tiny_point(x=10.0, seed=42, series="tiny", n_messages=2, **overrides):
+    """A real (registered) but very cheap spinal point."""
+    fields = dict(
+        series=series, x=x, seed=seed,
+        scheme=SchemeSpec("spinal", {
+            "n_bits": 16, "decoder": {"B": 4, "max_passes": 8}}),
+        channel=ChannelSpec("awgn"),
+        n_messages=n_messages, batch_size=n_messages,
+    )
+    fields.update(overrides)
+    return PointSpec(**fields)
+
+
+def tiny_spec(n_points=4, profile="quick"):
+    points = tuple(
+        tiny_point(x=5.0 + 5.0 * i, seed=100 + i) for i in range(n_points))
+    return ExperimentSpec(
+        experiment_id="tiny", title="tiny sweep",
+        profile=profile, points=points)
+
+
+class DummyScheme(RatelessScheme):
+    """Deterministic-from-rng scheme for logic tests (no real decoding)."""
+
+    name = "dummy"
+
+    def __init__(self, n_bits=16, fail_every=0):
+        self.n_bits = n_bits
+        self.fail_every = fail_every
+        self._count = 0
+
+    def run_message(self, channel, rng):
+        symbols = int(rng.integers(4, 12))
+        self._count += 1
+        if self.fail_every and self._count % self.fail_every == 0:
+            return 0, symbols
+        return self.n_bits, symbols
+
+
+def dummy_factory(rng):
+    from repro.channels import AWGNChannel
+    return AWGNChannel(10.0, rng=rng)
+
+
+class TestSpecHashing:
+    def test_round_trip(self):
+        spec = tiny_spec()
+        clone = ExperimentSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert spec_hash(clone) == spec_hash(spec)
+
+    def test_point_round_trip_preserves_hash(self):
+        point = tiny_point(adaptive=AdaptivePolicy(target_half_width=0.1))
+        clone = PointSpec.from_dict(point.as_dict())
+        assert point_hash(clone) == point_hash(point)
+
+    def test_distinct_points_distinct_hashes(self):
+        a = tiny_point(seed=1)
+        b = tiny_point(seed=2)
+        c = tiny_point(seed=1, x=11.0)
+        assert len({point_hash(a), point_hash(b), point_hash(c)}) == 3
+
+    def test_profile_changes_spec_hash(self):
+        assert spec_hash(tiny_spec(profile="quick")) != \
+            spec_hash(tiny_spec(profile="full"))
+
+    def test_measure_point_requires_scheme_and_channel(self):
+        with pytest.raises(ValueError, match="scheme and a channel"):
+            PointSpec(series="s", x=1.0, seed=0)
+
+    def test_unknown_scheme_kind(self):
+        with pytest.raises(ValueError, match="unknown scheme kind"):
+            make_scheme(SchemeSpec("nope"))
+
+    def test_unknown_channel_kind_fails_at_build(self):
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            ChannelSpec("nope")
+
+    def test_grid_includes_endpoint(self):
+        assert grid(-5, 35, 5.0) == [-5, 0, 5, 10, 15, 20, 25, 30, 35]
+        assert grid(0, 30, 10.0)[-1] == 30.0
+
+
+class TestStore:
+    def test_roundtrip_and_resume(self, tmp_path):
+        spec = tiny_spec(n_points=3)
+        store = ResultStore(str(tmp_path / "store"))
+        first = run_experiment(spec, store=store, n_workers=1)
+        assert first.n_computed == 3 and first.n_cached == 0
+
+        again = run_experiment(spec, store=store, n_workers=1)
+        assert again.n_computed == 0 and again.n_cached == 3
+        assert again.results == first.results
+
+    def test_partial_store_computes_only_missing(self, tmp_path):
+        spec = tiny_spec(n_points=3)
+        store = ResultStore(str(tmp_path / "store"))
+        run_experiment(spec, store=store, n_workers=1)
+
+        # drop one point from the store file: an "interrupted" sweep
+        points = store.load(spec)
+        dropped = point_hash(spec.points[1])
+        del points[dropped]
+        store.save(spec, points)
+
+        resumed = run_experiment(spec, store=store, n_workers=1)
+        assert resumed.n_cached == 2 and resumed.n_computed == 1
+        assert dropped in resumed.results
+
+    def test_discard(self, tmp_path):
+        spec = tiny_spec(n_points=1)
+        store = ResultStore(str(tmp_path / "store"))
+        run_experiment(spec, store=store, n_workers=1)
+        assert store.discard(spec) is True
+        assert store.load(spec) == {}
+        assert store.discard(spec) is False
+
+    def test_no_store_runs_everything(self):
+        spec = tiny_spec(n_points=2)
+        run = run_experiment(spec, n_workers=1)
+        assert run.n_computed == 2 and run.store_path is None
+
+    def test_duplicate_points_rejected(self):
+        point = tiny_point()
+        spec = ExperimentSpec(
+            experiment_id="dup", title="dup", profile="quick",
+            points=(point, point))
+        with pytest.raises(ValueError, match="duplicate points"):
+            run_experiment(spec, n_workers=1)
+
+
+class TestOrchestratorDeterminism:
+    def test_worker_count_invariant_store_bytes(self, tmp_path):
+        """Same spec at 1 and 4 workers -> byte-identical store files."""
+        spec = tiny_spec(n_points=4)
+        store_a = ResultStore(str(tmp_path / "serial"))
+        store_b = ResultStore(str(tmp_path / "parallel"))
+        run_experiment(spec, store=store_a, n_workers=1)
+        run_experiment(spec, store=store_b, n_workers=4)
+        with open(store_a.path_for(spec), "rb") as f:
+            serial = f.read()
+        with open(store_b.path_for(spec), "rb") as f:
+            parallel = f.read()
+        assert serial == parallel
+
+    def test_run_point_matches_direct_measure(self):
+        from repro.channels import AWGNChannel
+        from repro.simulation.sweep import measure_scheme
+        point = tiny_point(x=8.0, seed=7, n_messages=3)
+        record = run_point(point)
+        direct = measure_scheme(
+            make_scheme(point.scheme),
+            lambda rng: AWGNChannel(8.0, rng=rng),
+            8.0, 3, seed=7, batch_size=3)
+        assert record["rate"] == direct.rate
+        assert record["total_symbols"] == direct.total_symbols
+        assert record["series"] == "tiny" and record["x"] == 8.0
+
+    def test_ldpc_envelope_point(self):
+        from repro.ldpc import ldpc_envelope
+        point = PointSpec(
+            series="ldpc", x=10.0, seed=6, kind="ldpc_envelope",
+            options={"n_blocks": 2, "iterations": 5})
+        record = run_point(point)
+        rate, label = ldpc_envelope(10.0, n_blocks=2, iterations=5, seed=6)
+        assert record["rate"] == rate
+        assert record["best_operating_point"] == label
+
+    def test_unknown_point_kind(self):
+        point = PointSpec(series="s", x=1.0, seed=0, kind="warp",
+                          scheme=SchemeSpec("spinal", {"n_bits": 16}),
+                          channel=ChannelSpec("awgn"))
+        with pytest.raises(ValueError, match="unknown point kind"):
+            run_point(point)
+
+
+class TestAdaptive:
+    POLICY = AdaptivePolicy(
+        target_half_width=0.5, confidence=0.95,
+        initial_messages=4, growth=2.0, max_messages=64)
+
+    def test_deterministic_trial_count(self):
+        runs = [
+            adaptive_measure(DummyScheme(), dummy_factory, 10.0,
+                             self.POLICY, seed=3)
+            for _ in range(2)
+        ]
+        (m1, t1), (m2, t2) = runs
+        assert m1 == m2
+        assert t1 == t2
+        assert m1.n_messages >= self.POLICY.initial_messages
+
+    def test_stops_at_half_width(self):
+        policy = AdaptivePolicy(target_half_width=0.2,
+                                initial_messages=4, max_messages=512)
+        _, trace = adaptive_measure(
+            DummyScheme(), dummy_factory, 10.0, policy, seed=1)
+        assert trace["stopped"] == "half_width"
+        assert trace["final_half_width"] <= 0.2
+        # every earlier cohort was still above the target
+        for cohort in trace["cohorts"][:-1]:
+            assert cohort["half_width"] is None or \
+                cohort["half_width"] > 0.2
+
+    def test_budget_stop(self):
+        policy = AdaptivePolicy(target_half_width=1e-9,
+                                initial_messages=4, max_messages=16)
+        measurement, trace = adaptive_measure(
+            DummyScheme(), dummy_factory, 10.0, policy, seed=1)
+        assert trace["stopped"] == "budget"
+        assert measurement.n_messages == 16
+
+    def test_zero_variance_stops_immediately(self):
+        class Constant(RatelessScheme):
+            name = "constant"
+
+            def run_message(self, channel, rng):
+                return 16, 8
+
+        measurement, trace = adaptive_measure(
+            Constant(), dummy_factory, 10.0, self.POLICY, seed=0)
+        assert measurement.n_messages == self.POLICY.initial_messages
+        assert trace["stopped"] == "half_width"
+        assert trace["final_half_width"] == 0.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(target_half_width=0.0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(target_half_width=0.1, initial_messages=1)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(target_half_width=0.1, growth=1.0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(target_half_width=0.1, initial_messages=8,
+                           max_messages=4)
+
+    def test_z_score(self):
+        assert z_score(0.95) == pytest.approx(1.96)
+        with pytest.raises(ValueError, match="unsupported confidence"):
+            z_score(0.5)
+
+    def test_adaptive_point_through_orchestrator(self, tmp_path):
+        """Adaptive points cache and replay like fixed-count points."""
+        point = tiny_point(
+            n_messages=1, batch_size=4,
+            adaptive=AdaptivePolicy(target_half_width=0.3,
+                                    initial_messages=4, max_messages=16))
+        spec = ExperimentSpec(
+            experiment_id="tiny_adaptive", title="t", profile="quick",
+            points=(point,))
+        store = ResultStore(str(tmp_path / "store"))
+        first = run_experiment(spec, store=store, n_workers=1)
+        again = run_experiment(spec, store=store, n_workers=1)
+        assert again.n_computed == 0
+        record = again.results[point_hash(point)]
+        assert record == first.results[point_hash(point)]
+        assert record["adaptive"]["stopped"] in ("half_width", "budget")
+        assert record["n_messages"] == \
+            record["adaptive"]["cohorts"][-1]["n_messages"]
+
+
+class TestCatalog:
+    def test_names(self):
+        assert {"fig8_1", "bsc", "fig8_4", "smoke"} <= set(catalog_names())
+
+    def test_specs_build_and_hash_stably(self):
+        for name in catalog_names():
+            spec = build_spec(name, "quick")
+            assert spec.points, name
+            assert spec_hash(spec) == spec_hash(build_spec(name, "quick"))
+
+    def test_fig8_1_matches_legacy_seeding(self):
+        """The migrated spec encodes the legacy bench's exact policy."""
+        spec = build_spec("fig8_1", "quick")
+        by_series = {}
+        for p in spec.points:
+            by_series.setdefault(p.series, []).append(p)
+        spinal = by_series["spinal n=256"]
+        assert [p.x for p in spinal] == grid(-5, 35, 5.0)
+        assert [p.seed for p in spinal] == \
+            [1 + 101 * i for i in range(len(spinal))]
+        assert all(p.batch_size == p.n_messages == 3 for p in spinal)
+        assert all(p.kind == "ldpc_envelope"
+                   for p in by_series["ldpc envelope"])
+
+    def test_fig8_4_matches_legacy_seeding(self):
+        spec = build_spec("fig8_4", "quick")
+        spinal_10 = [p for p in spec.points if p.series == "spinal tau=10"]
+        assert [p.seed for p in spinal_10] == \
+            [int(snr) + 10 for snr in grid(0, 30, 10.0)]
+        assert all(p.channel.options == {"coherence_time": 10}
+                   for p in spinal_10)
+        assert all(p.batch_size is None for p in spinal_10)
+
+    def test_bsc_spec_uses_bsc_capacity_reference(self):
+        spec = build_spec("bsc", "quick")
+        assert all(p.capacity_reference == "bsc" for p in spec.points)
+        assert all(p.channel.kind == "bsc" for p in spec.points)
+        assert [p.seed for p in spec.points] == [500 + i for i in range(5)]
+
+    def test_unknown_name_and_profile(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            build_spec("nope")
+        with pytest.raises(ValueError, match="unknown profile"):
+            build_spec("smoke", "huge")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_1" in out and "smoke" in out
+
+    def test_run_twice_second_is_store_hit(self, tmp_path, capsys):
+        argv = ["run", "smoke",
+                "--store", str(tmp_path / "store"),
+                "--results-dir", str(tmp_path / "results"),
+                "--workers", "1"]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 computed" in first
+
+        # second run must be a full store hit — and says so
+        assert cli_main(argv + ["--expect-cached"]) == 0
+        second = capsys.readouterr().out
+        assert "2/2 points cached, 0 computed" in second
+        assert (tmp_path / "results" / "smoke.csv").exists()
+
+    def test_expect_cached_fails_on_cold_store(self, tmp_path, capsys):
+        argv = ["run", "smoke",
+                "--store", str(tmp_path / "store"),
+                "--results-dir", str(tmp_path / "results"),
+                "--workers", "1", "--expect-cached"]
+        assert cli_main(argv) == 1
+
+    def test_fresh_discards(self, tmp_path, capsys):
+        argv = ["run", "smoke",
+                "--store", str(tmp_path / "store"),
+                "--results-dir", str(tmp_path / "results"),
+                "--workers", "1", "--no-report"]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv + ["--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "discarded" in out and "2 computed" in out
+
+    def test_export_requires_filled_store(self, tmp_path, capsys):
+        argv = ["export", "smoke",
+                "--store", str(tmp_path / "store"),
+                "--results-dir", str(tmp_path / "results")]
+        assert cli_main(argv) == 1
+        assert cli_main(["run", "smoke",
+                         "--store", str(tmp_path / "store"),
+                         "--results-dir", str(tmp_path / "results"),
+                         "--workers", "1", "--no-report"]) == 0
+        capsys.readouterr()
+        assert cli_main(argv) == 0
+        assert "smoke" in capsys.readouterr().out
+
+    def test_show(self, tmp_path, capsys):
+        assert cli_main(["show", "smoke",
+                         "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "spec hash" in out and "missing" in out
+
+
+class TestRunMessagesApi:
+    def test_measure_scheme_is_aggregated_run_messages(self):
+        from repro.simulation.sweep import measure_scheme, run_messages
+        scheme = DummyScheme()
+        outcomes = run_messages(scheme, dummy_factory, 5, seed=11)
+        m = measure_scheme(DummyScheme(), dummy_factory, 10.0, 5, seed=11)
+        assert m.total_bits == sum(b for b, _ in outcomes)
+        assert m.total_symbols == sum(s for _, s in outcomes)
+        assert m.n_messages == 5
+
+    def test_merge_measurements_pools_counts(self):
+        from repro.simulation.sweep import (
+            RateMeasurement, merge_measurements)
+        a = RateMeasurement("x", 10.0, 4, 3, 48, 100)
+        b = RateMeasurement("x", 10.0, 2, 2, 32, 40)
+        merged = merge_measurements([a, b])
+        assert merged.n_messages == 6
+        assert merged.n_success == 5
+        assert merged.total_bits == 80
+        assert merged.total_symbols == 140
+        assert merged.rate == pytest.approx(80 / 140)
+
+    def test_merge_rejects_mismatched_points(self):
+        from repro.simulation.sweep import (
+            RateMeasurement, merge_measurements)
+        a = RateMeasurement("x", 10.0, 1, 1, 16, 8)
+        b = RateMeasurement("x", 12.0, 1, 1, 16, 8)
+        with pytest.raises(ValueError, match="different points"):
+            merge_measurements([a, b])
+        with pytest.raises(ValueError, match="at least one"):
+            merge_measurements([])
+
+    def test_measurement_dict_round_trip(self):
+        from repro.simulation.sweep import RateMeasurement
+        m = RateMeasurement("x", 10.0, 4, 3, 48, 100,
+                            capacity_reference="bsc")
+        clone = RateMeasurement.from_dict(m.as_dict())
+        assert clone == m
+
+    def test_seed_prefix_property(self):
+        """Growing a cohort keeps the shared-prefix outcomes identical."""
+        from repro.simulation.sweep import run_messages
+        short = run_messages(DummyScheme(), dummy_factory, 3, seed=5)
+        long = run_messages(DummyScheme(), dummy_factory, 6, seed=5)
+        assert long[:3] == short
