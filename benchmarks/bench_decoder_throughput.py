@@ -1,7 +1,7 @@
 """Decode hot-path throughput: batched cohorts vs the scalar loops.
 
 Measures messages/second through the full rateless Monte-Carlo loop
-(encode, i.i.d. AWGN, probe + bisect decode) for three engines:
+(encode, channel, probe + bisect decode) for three engines on AWGN:
 
 - ``scalar_rebuild`` — the pre-batching hot path: one message at a time,
   rebuilding the received-symbol store from per-symbol Python lists on
@@ -10,16 +10,21 @@ Measures messages/second through the full rateless Monte-Carlo loop
 - ``scalar`` — the current scalar engine: one incremental columnar store
   per session, prefix-view decode attempts;
 - ``batch`` — ``measure_scheme(batch_size=...)``: whole cohorts decoded by
-  the vectorised batch bubble decoder.
+  the vectorised batch bubble decoder;
 
-All three produce the *same* :class:`RateMeasurement` (asserted), so this
-is a pure speed comparison.  Note the scalar store rewrite is roughly
-speed-neutral on its own (decode arithmetic dominates a scalar session);
-its payoff is the checkpointed prefix views the batch pipeline is built
-on, which is where the required >= 3x comes from.  Writes ``bench_results/
-BENCH_decoder_throughput.json`` including the speedup of the batch path
-over the pre-batching baseline; CI runs ``--quick`` and uploads the JSON
-so decode-path regressions are visible per PR.
+and for the two current engines on Rayleigh block fading with full CSI at
+the receiver (the Figure 8-4 configuration) — fading cohorts used to bail
+out of the batch pipeline entirely, so ``fading_speedup_batch_vs_scalar``
+is the one to watch for the paper's slowest sweeps.
+
+Every engine pair produces the *same* :class:`RateMeasurement` (asserted),
+so this is a pure speed comparison.  Note the scalar store rewrite is
+roughly speed-neutral on its own (decode arithmetic dominates a scalar
+session); its payoff is the checkpointed prefix views the batch pipeline
+is built on, which is where the required >= 3x comes from.  Writes
+``bench_results/BENCH_decoder_throughput.json`` including the speedups;
+CI runs ``--quick`` and uploads the JSON so decode-path regressions are
+visible per PR.
 """
 
 import argparse
@@ -28,7 +33,7 @@ import time
 
 import numpy as np
 
-from repro.channels import AWGNChannel
+from repro.channels import AWGNChannel, RayleighBlockFadingChannel
 from repro.core.decoder import BubbleDecoder
 from repro.core.encoder import SpinalEncoder
 from repro.core.params import DecoderParams, SpinalParams
@@ -121,6 +126,12 @@ def _measure_legacy(params, dec, n_bits, snr_db, n_messages, seed, probe_growth)
     return total_bits, total_symbols, n_success
 
 
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
 def run(quick: bool) -> dict:
     n_messages = 48 if quick else 192
     batch_size = 48
@@ -129,17 +140,12 @@ def run(quick: bool) -> dict:
     dec = DecoderParams(B=64, max_passes=16)
     scheme = SpinalScheme(params, dec, n_bits, probe_growth=probe_growth)
 
-    def timed(fn):
-        t0 = time.perf_counter()
-        out = fn()
-        return out, time.perf_counter() - t0
-
-    legacy, t_legacy = timed(lambda: _measure_legacy(
+    legacy, t_legacy = _timed(lambda: _measure_legacy(
         params, dec, n_bits, snr_db, n_messages, seed, probe_growth))
-    scalar, t_scalar = timed(lambda: measure_scheme(
+    scalar, t_scalar = _timed(lambda: measure_scheme(
         scheme, lambda rng: AWGNChannel(snr_db, rng=rng), snr_db,
         n_messages, seed=seed))
-    batch, t_batch = timed(lambda: measure_scheme(
+    batch, t_batch = _timed(lambda: measure_scheme(
         scheme, lambda rng: AWGNChannel(snr_db, rng=rng), snr_db,
         n_messages, seed=seed, batch_size=batch_size))
 
@@ -162,7 +168,50 @@ def run(quick: bool) -> dict:
         "speedup_batch_vs_scalar": round(t_scalar / t_batch, 3),
         "speedup_scalar_vs_scalar_rebuild": round(t_legacy / t_scalar, 3),
     }
+    payload.update(run_fading(quick=quick))
     return payload
+
+
+def run_fading(quick: bool) -> dict:
+    """Rayleigh + full CSI (the Figure 8-4 shape): scalar vs batch.
+
+    Before the fading/CSI batch path existed, ``batch_size`` silently fell
+    back to the scalar engine here, so ``scalar`` doubles as the pre-batch
+    baseline for this case.
+    """
+    n_messages = 48 if quick else 192
+    batch_size = 48
+    n_bits, snr_db, tau, seed, probe_growth = 128, 13.0, 10, 0, 1.5
+    params = SpinalParams()
+    dec = DecoderParams(B=64, max_passes=16)
+    scheme = SpinalScheme(params, dec, n_bits, give_csi="full",
+                          probe_growth=probe_growth)
+    factory = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+        snr_db, coherence_time=tau, rng=rng)
+
+    scalar, t_scalar = _timed(lambda: measure_scheme(
+        scheme, factory, snr_db, n_messages, seed=seed,
+        capacity_reference="rayleigh"))
+    batch, t_batch = _timed(lambda: measure_scheme(
+        scheme, factory, snr_db, n_messages, seed=seed,
+        batch_size=batch_size, capacity_reference="rayleigh"))
+
+    # The batched fading pipeline must be bit-identical to the scalar one.
+    assert scalar == batch
+
+    return {
+        "fading_config": {
+            "n_bits": n_bits, "snr_db": snr_db, "coherence_time": tau,
+            "give_csi": "full", "B": dec.B, "max_passes": dec.max_passes,
+            "probe_growth": probe_growth, "n_messages": n_messages,
+            "batch_size": batch_size,
+            "profile": "quick" if quick else "full",
+        },
+        "fading_rate_bits_per_symbol": round(batch.rate, 9),
+        "fading_scalar_msgs_per_sec": round(n_messages / t_scalar, 3),
+        "fading_batch_msgs_per_sec": round(n_messages / t_batch, 3),
+        "fading_speedup_batch_vs_scalar": round(t_scalar / t_batch, 3),
+    }
 
 
 def main(argv=None) -> int:
@@ -172,6 +221,8 @@ def main(argv=None) -> int:
     ap.add_argument("--min-speedup", type=float, default=3.0,
                     help="fail below this batch-vs-rebuild ratio (CI uses a "
                          "lower bar to absorb shared-runner timing noise)")
+    ap.add_argument("--min-fading-speedup", type=float, default=2.0,
+                    help="fail below this fading batch-vs-scalar ratio")
     args = ap.parse_args(argv)
 
     payload = run(quick=args.quick)
@@ -184,7 +235,13 @@ def main(argv=None) -> int:
         print(f"FAIL: batch speedup {speedup}x < {args.min_speedup}x "
               "over the pre-batch loop")
         return 1
-    print(f"ok: batch path {speedup}x over the per-attempt-rebuild loop")
+    fading = payload["fading_speedup_batch_vs_scalar"]
+    if fading < args.min_fading_speedup:
+        print(f"FAIL: fading batch speedup {fading}x < "
+              f"{args.min_fading_speedup}x over the scalar engine")
+        return 1
+    print(f"ok: batch path {speedup}x over the per-attempt-rebuild loop, "
+          f"fading batch {fading}x over scalar")
     return 0
 
 

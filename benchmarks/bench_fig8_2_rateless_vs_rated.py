@@ -4,72 +4,23 @@ The rateless spinal code is compared against fixed-rate ("rated") versions
 of itself: transmit exactly L passes, decode once; throughput is
 rate x P(success).  The paper's claim — the rateless code outperforms
 *every* rated version at *every* SNR — is asserted directly.
+
+The sweep lives in the ``fig8_2`` entry of ``repro.experiments.catalog``
+(same grids and the ``100 + i`` / ``200 + 17*i + L`` seeding policies as
+the pre-migration script, every point decoded by the batched pipeline);
+reruns are served from ``bench_results/store/``.
 """
 
-import numpy as np
-
-from repro.channels import AWGNChannel
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalSession, SpinalScheme, measure_scheme
-from repro.utils.bitops import random_message
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-N_BITS = 256
-FIXED_PASSES = (1, 2, 3, 4, 6, 8, 12)
-
-
-def _fixed_rate_throughput(params, dec, n_passes, snr, n_messages, seed):
-    """Fixed-rate spinal: rate * success fraction over messages."""
-    master = np.random.default_rng(seed)
-    delivered = 0
-    symbols = 0
-    for _ in range(n_messages):
-        rng = np.random.default_rng(master.integers(0, 2**63))
-        msg = random_message(N_BITS, rng)
-        session = SpinalSession(params, dec, msg, AWGNChannel(snr, rng=rng))
-        result = session.run_fixed_rate(n_passes)
-        delivered += N_BITS if result.success else 0
-        symbols += result.n_symbols
-    return delivered / symbols if symbols else 0.0
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(0, 30, quick_step=5.0, full_step=2.0)
-    n_msgs = scale(4, 20)
-    params = SpinalParams(puncturing="none", tail_symbols=2)
-    dec = DecoderParams(B=256, max_passes=40)
-
-    rateless = {}
-    for i, snr in enumerate(snrs):
-        m = measure_scheme(
-            SpinalScheme(params, dec, N_BITS), awgn_factory(snr), snr,
-            n_msgs, seed=100 + i)
-        rateless[snr] = m.rate
-
-    rated = {L: {} for L in FIXED_PASSES}
-    for L in FIXED_PASSES:
-        for i, snr in enumerate(snrs):
-            rated[L][snr] = _fixed_rate_throughput(
-                params, dec, L, snr, n_msgs, seed=200 + 17 * i + L)
-    return snrs, rateless, rated
+    report = run_catalog("fig8_2")
+    return report["snrs"], report["rateless"], report["rated"]
 
 
 def test_bench_fig8_2(benchmark):
     snrs, rateless, rated = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_2_rateless_vs_rated",
-        "Rateless vs rated spinal (Figure 8-2)", "snr_db", "rate_bits_per_symbol")
-    s = result.new_series("spinal rateless")
-    for snr in snrs:
-        s.add(snr, rateless[snr])
-    for L, curve in rated.items():
-        s = result.new_series(f"spinal fixed L={L}")
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    finish(result)
 
     # Hedging: the rateless code matches or beats the rated envelope
     # everywhere (small slack for Monte-Carlo noise).

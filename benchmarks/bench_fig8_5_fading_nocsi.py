@@ -7,71 +7,34 @@ per-symbol channel gains; standard carrier-phase recovery is still assumed
 at all), so both schemes run in the amplitude-blind ``phase`` CSI mode.
 Paper finding reproduced: spinal degrades gracefully while Strider+
 collapses — "spinal codes achieve much higher rates than Strider+".
+
+The sweep lives in the ``fig8_5`` entry of ``repro.experiments.catalog``
+(same grids and the ``int(snr) + tau`` seeding policy as the
+pre-migration script, spinal points decoded by the batched fading
+pipeline); reruns are served from ``bench_results/store/``.
 """
 
-from repro.channels import RayleighBlockFadingChannel
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.strider import StriderScheme
-from repro.utils.results import ExperimentResult
-
-from _common import finish, run_once, scale, snr_grid
-
-TAUS = (1, 10, 100)
-
-
-def _fading_factory(snr, tau):
-    return lambda rng: RayleighBlockFadingChannel(snr, tau, rng=rng)
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(10, 30, quick_step=10.0, full_step=5.0)
-    n_msgs = scale(2, 8)
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=48)
-
-    curves = {}
-    for tau in TAUS:
-        spinal = SpinalScheme(params, dec, 256, give_csi="phase",
-                              label=f"spinal tau={tau}")
-        strider = StriderScheme(n_bits=1920, n_layers=12,
-                                subpasses_per_pass=4, max_passes=30,
-                                give_csi="phase", label=f"strider+ tau={tau}")
-        curves[f"spinal tau={tau}"] = {
-            snr: measure_scheme(spinal, _fading_factory(snr, tau), snr,
-                                n_msgs, seed=int(snr) + tau).rate
-            for snr in snrs
-        }
-        curves[f"strider+ tau={tau}"] = {
-            snr: measure_scheme(strider, _fading_factory(snr, tau), snr,
-                                scale(1, 5), seed=int(snr) + tau + 7).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("fig8_5")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_fig8_5(benchmark):
     snrs, curves = run_once(benchmark, _run)
 
-    result = ExperimentResult(
-        "fig8_5_fading_nocsi",
-        "Rayleigh fading, AWGN decoders / no CSI (Figure 8-5)",
-        "snr_db", "rate_bits_per_symbol")
-    for label, curve in curves.items():
-        s = result.new_series(label)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    finish(result)
-
+    taus = sorted({int(label.split("tau=")[1]) for label in curves})
     # Without CSI the blind spinal decoder must clearly beat blind Strider+
     # (the paper's robustness point) at every coherence time and SNR.
-    for tau in TAUS:
+    for tau in taus:
         for snr in snrs:
             spinal = curves[f"spinal tau={tau}"][snr]
             strider = curves[f"strider+ tau={tau}"][snr]
             assert spinal >= strider, (tau, snr)
     # and spinal still delivers usable rate at high SNR
-    assert any(curves[f"spinal tau={tau}"][max(snrs)] > 0.5 for tau in TAUS)
+    assert any(curves[f"spinal tau={tau}"][max(snrs)] > 0.5 for tau in taus)
 
 
 if __name__ == "__main__":

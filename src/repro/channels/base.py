@@ -37,9 +37,32 @@ class Channel:
 
     #: True when the channel draws each output independently of earlier
     #: blocks (AWGN, BSC).  Stateful models (block fading, the shared-medium
-    #: clock) set this False, which routes batched Monte-Carlo paths back to
-    #: the scalar engine.
+    #: clock) set this False.
     memoryless = True
+
+    #: True when :meth:`transmit` reports per-symbol coefficients in
+    #: ``ChannelOutput.csi`` (fading models).  The batch engine uses this
+    #: to keep cohorts CSI-homogeneous — its store's CSI plane is
+    #: all-or-nothing across rows, so mixed cohorts take the scalar path.
+    reports_csi = False
+
+    @property
+    def private_state(self) -> bool:
+        """True when any channel state is private to this instance.
+
+        The batched Monte-Carlo engine requires each message's output
+        stream to be a pure function of its channel's constructor
+        arguments and its own sequence of :meth:`transmit` calls; it
+        routes channels that can't promise this back to the scalar
+        engine.  Memoryless channels qualify trivially (the conservative
+        default this property derives).  Stateful models qualify only if
+        their state is *not* coupled across instances or flows, and must
+        opt in with an explicit class attribute after auditing — block
+        fading does (its coherence block is per-instance); the
+        shared-medium symbol clock must not (its state is shared across
+        flows).
+        """
+        return self.memoryless
 
     def transmit(self, symbols: np.ndarray) -> ChannelOutput:
         raise NotImplementedError
@@ -53,20 +76,32 @@ class Channel:
 
 def transmit_batch(
     channels: list[Channel], values: np.ndarray
-) -> np.ndarray:
+) -> ChannelOutput:
     """Transmit row ``m`` of ``values`` through ``channels[m]``.
 
     Each message keeps its *own* channel (and noise generator), so the draws
     are exactly the ones the scalar path would make for that message — the
     invariant the batched Monte-Carlo engine's bit-identical guarantee rests
-    on.  Channel-reported CSI is dropped, exactly as the scalar receiver's
-    "none" CSI policy does; callers that want the decoder to *see* CSI must
-    use the scalar path (the batched branch-cost kernel does not carry it).
+    on.  Returns one :class:`ChannelOutput` whose rows stack the per-message
+    outputs; ``csi`` stacks the per-symbol coefficients when the channels
+    report them (fading cohorts) and is ``None`` when they don't.  A cohort
+    must be homogeneous: some channels reporting CSI and others not would
+    leave rows of the CSI plane silently meaningless, so that raises.
     """
     if len(channels) != values.shape[0]:
         raise ValueError("one channel per message row required")
     out = np.empty(values.shape, dtype=np.float64
                    if not channels[0].complex_valued else np.complex128)
+    csi: np.ndarray | None = None
     for m, channel in enumerate(channels):
-        out[m] = channel.transmit(values[m]).values
-    return out
+        received = channel.transmit(values[m])
+        out[m] = received.values
+        if received.csi is not None:
+            if m == 0:
+                csi = np.empty(values.shape, dtype=np.complex128)
+            elif csi is None:
+                raise ValueError("cohort mixes CSI-reporting and CSI-less channels")
+            csi[m] = received.csi
+        elif csi is not None:
+            raise ValueError("cohort mixes CSI-reporting and CSI-less channels")
+    return ChannelOutput(out, csi=csi)

@@ -6,6 +6,17 @@ coefficient with uniform phase and Rayleigh magnitude (``h ~ CN(0, 1)``, so
 ``E|h|^2 = 1``), redrawn every ``tau`` symbols.  The coherence block
 position persists across transmit calls, because a rateless session
 delivers symbols in many small subpass blocks.
+
+Coefficient drawing is vectorised: one :meth:`~numpy.random.Generator.
+standard_normal` call covers every coherence block a transmit needs, which
+matters at small ``tau`` (a 255-symbol subpass at ``tau=1`` is 255 blocks).
+The draw order and arithmetic reproduce the per-block scalar loop exactly
+— an array fill consumes the generator's bit stream identically to the
+same number of scalar draws, and the real/imaginary parts are normalised
+with separate float divisions (``complex / float`` in python divides
+componentwise; numpy's complex-by-real division multiplies by a
+reciprocal, which differs in the last ulp) — so a channel at any seed
+emits the same ``(h, noise)`` stream it always did.
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ import numpy as np
 from repro.channels.base import Channel, ChannelOutput
 
 __all__ = ["RayleighBlockFadingChannel"]
+
+_SQRT2 = np.sqrt(2.0)
 
 
 class RayleighBlockFadingChannel(Channel):
@@ -29,7 +42,9 @@ class RayleighBlockFadingChannel(Channel):
     """
 
     complex_valued = True
-    memoryless = False  # the coherence block persists across transmit calls
+    memoryless = False   # the coherence block persists across transmit calls
+    private_state = True  # ...but it is per-instance: batch cohorts are safe
+    reports_csi = True
 
     def __init__(
         self,
@@ -54,23 +69,30 @@ class RayleighBlockFadingChannel(Channel):
         self._current_h = None
         self._remaining = 0
 
-    def _draw_h(self) -> complex:
-        return complex(
-            self._rng.standard_normal() + 1j * self._rng.standard_normal()
-        ) / np.sqrt(2.0)
-
     def _coefficients(self, n: int) -> np.ndarray:
-        """Per-symbol fading coefficients, honouring block boundaries."""
+        """Per-symbol fading coefficients, honouring block boundaries.
+
+        Finishes the in-progress coherence block, then draws every new
+        block's coefficient in one generator call: ``2 m`` normals arrive
+        as ``[re_0, im_0, re_1, im_1, ...]``, the interleaving the scalar
+        per-block loop produced.
+        """
         out = np.empty(n, dtype=np.complex128)
-        filled = 0
-        while filled < n:
-            if self._remaining == 0:
-                self._current_h = self._draw_h()
-                self._remaining = self.coherence_time
-            take = min(self._remaining, n - filled)
-            out[filled:filled + take] = self._current_h
-            filled += take
+        take = min(self._remaining, n)
+        if take:
+            out[:take] = self._current_h
             self._remaining -= take
+        rem = n - take
+        if rem:
+            tau = self.coherence_time
+            n_new = -(-rem // tau)  # ceil
+            draws = self._rng.standard_normal(2 * n_new)
+            h_new = np.empty(n_new, dtype=np.complex128)
+            h_new.real = draws[0::2] / _SQRT2
+            h_new.imag = draws[1::2] / _SQRT2
+            out[take:] = np.repeat(h_new, tau)[:rem]
+            self._current_h = complex(h_new[-1])
+            self._remaining = n_new * tau - rem
         return out
 
     def transmit(self, symbols: np.ndarray) -> ChannelOutput:

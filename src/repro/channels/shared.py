@@ -35,11 +35,13 @@ class SharedChannel(Channel):
     inner: the physical channel model all traffic passes through.
     """
 
-    memoryless = False  # the symbol clock is shared state
+    memoryless = False
+    private_state = False  # the symbol clock is shared *across* flows: never batch
 
     def __init__(self, inner: Channel):
         self.inner = inner
         self.complex_valued = inner.complex_valued
+        self.reports_csi = inner.reports_csi
         self.time = 0           # symbol clock (symbol times since start)
         self.symbols_sent = 0   # total symbols transmitted by all flows
 

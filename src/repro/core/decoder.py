@@ -197,17 +197,20 @@ class BatchBubbleDecoder(BubbleDecoder):
     Bit-exactness: the arithmetic is laid out so every message reproduces
     the scalar :class:`BubbleDecoder` exactly — branch costs keep the slot
     axis leading (same reduction order in the sum over received symbols),
-    and selection/argmin operate on contiguous per-message rows (same
-    introselect order as the scalar 1-D calls).  ``decode_batch`` over a
-    batch store is therefore result-identical to M scalar ``decode`` calls,
-    which ``tests/test_batch_equivalence.py`` asserts.
+    the coherent CSI metric performs the same complex product and component
+    subtractions as the scalar branch, and selection/argmin operate on
+    contiguous per-message rows (same introselect order as the scalar 1-D
+    calls).  ``decode_batch`` over a batch store is therefore
+    result-identical to M scalar ``decode`` calls — including fading
+    cohorts decoded with full or phase-only CSI — which
+    ``tests/test_batch_equivalence.py`` asserts.
     """
 
     def _branch_costs_batch(
         self, states: np.ndarray, spine_idx: int, received: BatchReceivedView
     ) -> np.ndarray:
         """Edge costs for ``states`` of shape (M, n_states) -> (M, n_states)."""
-        slots, values = received.for_spine(spine_idx)
+        slots, values, csi = received.for_spine(spine_idx)
         states = np.asarray(states, dtype=np.uint32)
         n_msgs, n_states = states.shape
         if slots.size == 0:
@@ -221,8 +224,15 @@ class BatchBubbleDecoder(BubbleDecoder):
         c = self.params.c
         x_i = self._levels[(words & self._c_mask).astype(np.intp)]
         x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
-        d_r = values.real.T[:, :, None] - x_i
-        d_q = values.imag.T[:, :, None] - x_q
+        if csi is None:
+            d_r = values.real.T[:, :, None] - x_i
+            d_q = values.imag.T[:, :, None] - x_q
+        else:
+            # Coherent metric |y - h x|^2 (§8.3): same complex product and
+            # component subtraction as the scalar branch, broadcast over M.
+            faded = csi.T[:, :, None] * (x_i + 1j * x_q)
+            d_r = values.real.T[:, :, None] - faded.real
+            d_q = values.imag.T[:, :, None] - faded.imag
         return (d_r * d_r + d_q * d_q).sum(axis=0)
 
     def decode_batch(self, received: BatchReceivedView) -> list[DecodeResult]:

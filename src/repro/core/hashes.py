@@ -84,29 +84,41 @@ def _rot(x: np.ndarray, k: int) -> np.ndarray:
 
 
 def lookup3(state: np.ndarray, data: np.ndarray) -> np.ndarray:
-    """Jenkins lookup3 ``hashword`` applied to the two words (state, data)."""
+    """Jenkins lookup3 ``hashword`` applied to the two words (state, data).
+
+    Like :func:`one_at_a_time`, the mixing runs in place over two scratch
+    buffers (each ``x = (x ^ y) - rot(y, k)`` step of ``final()`` would
+    otherwise allocate three full-size temporaries).  uint32 arithmetic is
+    exact — results are unchanged.
+    """
     state = _as_u32(state)
     data = _as_u32(data)
     init = _U32(0xDEADBEEF + (2 << 2))
     shape = np.broadcast(state, data).shape
-    a = np.full(shape, init, dtype=np.uint32) + state
-    b = np.full(shape, init, dtype=np.uint32) + data
+    a = np.full(shape, init, dtype=np.uint32)
+    a += state
+    b = np.full(shape, init, dtype=np.uint32)
+    b += data
     c = np.full(shape, init, dtype=np.uint32)
+    rot = np.empty(shape, dtype=np.uint32)
+    scratch = np.empty(shape, dtype=np.uint32)
+
+    def mix(x: np.ndarray, y: np.ndarray, k: int) -> None:
+        """x = (x ^ y) - rot(y, k), in place (y is never modified)."""
+        np.left_shift(y, _U32(k), out=rot)
+        np.right_shift(y, _U32(32 - k), out=scratch)
+        np.bitwise_or(rot, scratch, out=rot)
+        x ^= y
+        x -= rot
+
     # final(a, b, c)
-    c = c ^ b
-    c = c - _rot(b, 14)
-    a = a ^ c
-    a = a - _rot(c, 11)
-    b = b ^ a
-    b = b - _rot(a, 25)
-    c = c ^ b
-    c = c - _rot(b, 16)
-    a = a ^ c
-    a = a - _rot(c, 4)
-    b = b ^ a
-    b = b - _rot(a, 14)
-    c = c ^ b
-    c = c - _rot(b, 24)
+    mix(c, b, 14)
+    mix(a, c, 11)
+    mix(b, a, 25)
+    mix(c, b, 16)
+    mix(a, c, 4)
+    mix(b, a, 14)
+    mix(c, b, 24)
     return c
 
 
@@ -129,25 +141,44 @@ def salsa20(state: np.ndarray, data: np.ndarray, rounds: int = 20) -> np.ndarray
     spine state in word 1 and the data word in word 2 (remaining words zero);
     the output is word 0 of the usual feed-forward sum.  This matches the
     paper's use of Salsa20 purely as a strong mixing function.
+
+    The quarter-round updates run in place over two scratch buffers: at 20
+    rounds the expression form allocates ~480 full-size temporaries per
+    call, which dominates the cost on beam-sized inputs.  uint32 arithmetic
+    is exact — results are unchanged.
     """
     state = _as_u32(state)
     data = _as_u32(data)
     shape = np.broadcast(state, data).shape
     x = [np.zeros(shape, dtype=np.uint32) for _ in range(16)]
     for pos, const in zip((0, 5, 10, 15), _SALSA_CONST):
-        x[pos] = np.full(shape, const, dtype=np.uint32)
-    x[1] = x[1] + state
-    x[2] = x[2] + data
+        x[pos][...] = const
+    x[1] += state
+    x[2] += data
     orig0 = x[0].copy()
     orig1 = x[1].copy()
+    rot = np.empty(shape, dtype=np.uint32)
+    scratch = np.empty(shape, dtype=np.uint32)
+
+    def quarter(xt: np.ndarray, u: np.ndarray, v: np.ndarray, k: int) -> None:
+        """xt ^= rot(u + v, k), in place (u and v are never modified)."""
+        np.add(u, v, out=scratch)
+        np.left_shift(scratch, _U32(k), out=rot)
+        np.right_shift(scratch, _U32(32 - k), out=scratch)
+        np.bitwise_or(rot, scratch, out=rot)
+        xt ^= rot
+
     for _ in range(rounds // 2):
         for a, b, c, d in _SALSA_ROUNDS:
-            x[b] = x[b] ^ _rot(x[a] + x[d], 7)
-            x[c] = x[c] ^ _rot(x[b] + x[a], 9)
-            x[d] = x[d] ^ _rot(x[c] + x[b], 13)
-            x[a] = x[a] ^ _rot(x[d] + x[c], 18)
+            quarter(x[b], x[a], x[d], 7)
+            quarter(x[c], x[b], x[a], 9)
+            quarter(x[d], x[c], x[b], 13)
+            quarter(x[a], x[d], x[c], 18)
     # Feed-forward on the two words we consume keeps this non-invertible.
-    return (x[0] + orig0) ^ (x[1] + orig1)
+    x[0] += orig0
+    x[1] += orig1
+    x[0] ^= x[1]
+    return x[0]
 
 
 _REGISTRY: dict[str, HashFn] = {

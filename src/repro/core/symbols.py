@@ -19,6 +19,10 @@ axis: M independent messages that share one transmission plan (same spine
 indices and slots per subpass, e.g. a Monte-Carlo cohort over i.i.d.
 channels) store their received values in ``(n_spine, M, capacity)`` arrays
 so the batch decoder can pull ``(rows, slots)`` panels per spine position.
+Like the scalar store it optionally carries a per-symbol CSI plane of the
+same shape (fading cohorts decoded with channel knowledge, §8.3), under
+the same all-or-nothing discipline: CSI must arrive with the first block
+and keep arriving.
 """
 
 from __future__ import annotations
@@ -264,6 +268,11 @@ class BatchReceivedSymbols(_ColumnarStore):
         self._values = np.zeros(
             (n_spine, n_messages, self._capacity), dtype=self._vtype
         )
+        self._has_csi = False
+
+    @property
+    def has_csi(self) -> bool:
+        return self._has_csi
 
     def add_block(
         self,
@@ -271,11 +280,13 @@ class BatchReceivedSymbols(_ColumnarStore):
         slots: np.ndarray,
         values: np.ndarray,
         rows: np.ndarray | None = None,
+        csi: np.ndarray | None = None,
     ) -> None:
         """Scatter one subpass block for the messages in ``rows``.
 
-        ``values`` has shape ``(len(rows), block_length)``.  Advances the
-        shared layout counts once, regardless of how many rows are active.
+        ``values`` (and ``csi`` when given) have shape
+        ``(len(rows), block_length)``.  Advances the shared layout counts
+        once, regardless of how many rows are active.
         """
         spine_indices = np.asarray(spine_indices)
         slots = np.asarray(slots)
@@ -286,6 +297,25 @@ class BatchReceivedSymbols(_ColumnarStore):
             rows_idx = np.asarray(rows, dtype=np.intp)
         if values.shape != (rows_idx.size, spine_indices.size):
             raise ValueError("values must have shape (n_rows, block_length)")
+        if csi is not None:
+            csi = np.asarray(csi)
+            if csi.shape != values.shape:
+                raise ValueError("csi must align with values")
+            if not self._has_csi and self._counts.any():
+                # Same rule as the scalar store: zero-filling earlier
+                # symbols' coefficients would silently corrupt branch costs.
+                raise ValueError(
+                    "store already holds CSI-less symbols; CSI must be "
+                    "provided from the first block"
+                )
+            self._has_csi = True
+            if self._csi is None:
+                self._csi = np.zeros(
+                    (self.n_spine, self.n_messages, self._capacity),
+                    dtype=np.complex128,
+                )
+        elif self._has_csi and spine_indices.size:
+            raise ValueError("store already holds CSI; blocks must keep providing it")
         if spine_indices.size == 0:
             return
         order, srows, cols, uniq, cnt = _scatter_layout(
@@ -297,6 +327,10 @@ class BatchReceivedSymbols(_ColumnarStore):
             slots, values = slots[order], values[:, order]
         self._slots[srows, cols] = slots
         self._values[srows[None, :], rows_idx[:, None], cols[None, :]] = values
+        if csi is not None:
+            if order is not None:
+                csi = csi[:, order]
+            self._csi[srows[None, :], rows_idx[:, None], cols[None, :]] = csi
         self._counts[uniq] += cnt
 
     def prefix(self, rows: np.ndarray, counts: np.ndarray) -> "BatchReceivedView":
@@ -321,8 +355,15 @@ class BatchReceivedView:
         self.complex_valued = store.complex_valued
         self.n_symbols = int(counts.sum())  # per message
 
-    def for_spine(self, i: int) -> tuple[np.ndarray, np.ndarray]:
-        """(slots, values) with values shaped ``(n_rows, n_slots)``."""
+    @property
+    def has_csi(self) -> bool:
+        return self._store.has_csi
+
+    def for_spine(
+        self, i: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """(slots, values, csi-or-None); values/csi shaped ``(n_rows, n_slots)``."""
         c = self._counts[i]
         store = self._store
-        return store._slots[i, :c], store._values[i][self.rows, :c]
+        csi = store._csi[i][self.rows, :c] if store.has_csi else None
+        return store._slots[i, :c], store._values[i][self.rows, :c], csi

@@ -76,6 +76,38 @@ def _finish(result: ExperimentResult, results_dir: str) -> None:
     print(f"[csv] {path}")
 
 
+def _series_report(
+    run: ExperimentRun,
+    results_dir: str,
+    name: str,
+    title: str,
+    x_label: str = "snr_db",
+    y_label: str = "rate_bits_per_symbol",
+    head_series: dict[str, Callable[[float], float]] | None = None,
+) -> tuple[list[float], dict[str, dict[float, float]]]:
+    """The common report shape: every measured series as rate-vs-x rows.
+
+    ``head_series`` prepends derived curves (capacity bounds) ahead of the
+    measured ones, exactly where the legacy benches printed them.  Measured
+    series print their *own* x points (series need not share a grid); the
+    returned grid is the first series' sorted x set, which is what the
+    figure reports' shared-grid assertions consume.
+    """
+    curves = run.rates()
+    xs = sorted(next(iter(curves.values()))) if curves else []
+    result = ExperimentResult(name, title, x_label, y_label)
+    for label, fn in (head_series or {}).items():
+        s = result.new_series(label)
+        for x in xs:
+            s.add(x, fn(x))
+    for label, curve in curves.items():
+        s = result.new_series(label)
+        for x in sorted(curve):
+            s.add(x, curve[x])
+    _finish(result, results_dir)
+    return xs, curves
+
+
 # --------------------------------------------------------------------------
 # fig8_1 — rate comparison (Figure 8-1 + the intro's summary table)
 # --------------------------------------------------------------------------
@@ -150,19 +182,9 @@ _FIG8_1_BANDS = {"< 10dB": lambda s: s < 10,
 
 
 def _report_fig8_1(run: ExperimentRun, results_dir: str) -> dict:
-    curves = run.rates()
-    snrs = sorted(next(iter(curves.values())))
-
-    rates = ExperimentResult("fig8_1_rates", "Rate comparison (Figure 8-1)",
-                             "snr_db", "rate_bits_per_symbol")
-    shannon = rates.new_series("shannon bound")
-    for snr in snrs:
-        shannon.add(snr, awgn_capacity(snr))
-    for label, curve in curves.items():
-        s = rates.new_series(label)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    _finish(rates, results_dir)
+    snrs, curves = _series_report(
+        run, results_dir, "fig8_1_rates", "Rate comparison (Figure 8-1)",
+        head_series={"shannon bound": awgn_capacity})
 
     gaps = ExperimentResult("fig8_1_gaps", "Gap to capacity (Figure 8-1)",
                             "snr_db", "gap_db")
@@ -263,6 +285,7 @@ def _build_fig8_4(profile: str) -> ExperimentSpec:
             PointSpec(
                 series=f"spinal tau={tau}", x=snr, seed=int(snr) + tau,
                 scheme=spinal, channel=channel, n_messages=n_msgs,
+                batch_size=n_msgs,
             )
             for snr in snrs
         ]
@@ -283,20 +306,125 @@ def _build_fig8_4(profile: str) -> ExperimentSpec:
 
 
 def _report_fig8_4(run: ExperimentRun, results_dir: str) -> dict:
-    curves = run.rates()
-    snrs = sorted(next(iter(curves.values())))
-    result = ExperimentResult(
-        "fig8_4_fading_csi", "Rayleigh fading with CSI (Figure 8-4)",
-        "snr_db", "rate_bits_per_symbol")
-    cap = result.new_series("fading capacity")
-    for snr in snrs:
-        cap.add(snr, rayleigh_capacity(snr))
-    for label, curve in curves.items():
-        s = result.new_series(label)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    _finish(result, results_dir)
+    snrs, curves = _series_report(
+        run, results_dir, "fig8_4_fading_csi",
+        "Rayleigh fading with CSI (Figure 8-4)",
+        head_series={"fading capacity": rayleigh_capacity})
     return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_5 — Rayleigh fading decoded *without* fading information (Figure 8-5)
+# --------------------------------------------------------------------------
+
+_FIG8_5_TAUS = (1, 10, 100)
+
+
+def _build_fig8_5(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(10, 30, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 2, 8)
+    points: list[PointSpec] = []
+    for tau in _FIG8_5_TAUS:
+        # "No fading information" still assumes carrier-phase recovery (a
+        # receiver with uniformly random uncompensated phase could decode
+        # nothing at all): both schemes run the amplitude-blind "phase"
+        # CSI policy — the legacy bench's exact configuration.
+        spinal = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "decoder": {"B": 256, "max_passes": 48},
+            "give_csi": "phase",
+            "label": f"spinal tau={tau}",
+        })
+        strider = SchemeSpec("strider", {
+            "n_bits": 1920, "n_layers": 12, "subpasses_per_pass": 4,
+            "max_passes": 30, "give_csi": "phase",
+            "label": f"strider+ tau={tau}",
+        })
+        channel = ChannelSpec("rayleigh", {"coherence_time": tau})
+        points += [
+            PointSpec(
+                series=f"spinal tau={tau}", x=snr, seed=int(snr) + tau,
+                scheme=spinal, channel=channel, n_messages=n_msgs,
+                batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+        points += [
+            PointSpec(
+                series=f"strider+ tau={tau}", x=snr, seed=int(snr) + tau + 7,
+                scheme=strider, channel=channel,
+                n_messages=_scale(profile, 1, 5),
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_5",
+        title="Rayleigh fading without CSI (Figure 8-5)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_5(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, curves = _series_report(
+        run, results_dir, "fig8_5_fading_nocsi",
+        "Rayleigh fading, AWGN decoders / no CSI (Figure 8-5)")
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_2 — rateless vs fixed-rate ("rated") spinal (Figure 8-2)
+# --------------------------------------------------------------------------
+
+_FIG8_2_FIXED_PASSES = (1, 2, 3, 4, 6, 8, 12)
+_FIG8_2_N_BITS = 256
+
+
+def _build_fig8_2(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 30, 5.0 if profile == "quick" else 2.0)
+    n_msgs = _scale(profile, 4, 20)
+    params = {"puncturing": "none", "tail_symbols": 2}
+    dec = {"B": 256, "max_passes": 40}
+    points: list[PointSpec] = [
+        PointSpec(
+            series="spinal rateless", x=snr, seed=100 + i,
+            scheme=SchemeSpec("spinal", {
+                "n_bits": _FIG8_2_N_BITS, "params": params, "decoder": dec}),
+            channel=ChannelSpec("awgn"),
+            n_messages=n_msgs, batch_size=n_msgs,
+        )
+        for i, snr in enumerate(snrs)
+    ]
+    for L in _FIG8_2_FIXED_PASSES:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": _FIG8_2_N_BITS, "params": params, "decoder": dec,
+            "fixed_passes": L,
+        })
+        points += [
+            PointSpec(
+                series=f"spinal fixed L={L}", x=snr, seed=200 + 17 * i + L,
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for i, snr in enumerate(snrs)
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_2",
+        title="Rateless vs rated spinal (Figure 8-2)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_2(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, curves = _series_report(
+        run, results_dir, "fig8_2_rateless_vs_rated",
+        "Rateless vs rated spinal (Figure 8-2)")
+    rateless = curves["spinal rateless"]
+    rated = {L: curves[f"spinal fixed L={L}"] for L in _FIG8_2_FIXED_PASSES}
+    return {"snrs": snrs, "rateless": rateless, "rated": rated}
 
 
 # --------------------------------------------------------------------------
@@ -345,16 +473,33 @@ def _build_smoke_adaptive(profile: str) -> ExperimentSpec:
     )
 
 
+def _build_smoke_fading(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    scheme = SchemeSpec("spinal", {
+        "n_bits": 16, "decoder": {"B": 4, "max_passes": 8},
+        "give_csi": "full"})
+    points = tuple(
+        PointSpec(
+            series="spinal tiny fading", x=snr, seed=9200 + i,
+            scheme=scheme,
+            channel=ChannelSpec("rayleigh", {"coherence_time": 10}),
+            n_messages=2, batch_size=2, capacity_reference="rayleigh",
+        )
+        for i, snr in enumerate((10.0, 20.0))
+    )
+    return ExperimentSpec(
+        experiment_id="smoke_fading",
+        title="Tiny batched-fading spec (CI smoke)",
+        profile=profile,
+        points=points,
+    )
+
+
 def _report_generic(run: ExperimentRun, results_dir: str) -> dict:
     """Plain rate-vs-x dump for experiments without a paper figure."""
-    result = ExperimentResult(
-        run.spec.experiment_id, run.spec.title, "x", "rate")
-    curves = run.rates()
-    for label, curve in curves.items():
-        s = result.new_series(label)
-        for x in sorted(curve):
-            s.add(x, curve[x])
-    _finish(result, results_dir)
+    _, curves = _series_report(
+        run, results_dir, run.spec.experiment_id, run.spec.title,
+        x_label="x", y_label="rate")
     return {"curves": curves}
 
 
@@ -372,10 +517,25 @@ CATALOG: dict[str, CatalogEntry] = {
             "spinal rate vs BSC flip probability against 1 - H(p) (§4.6)",
             _build_bsc, _report_bsc),
         CatalogEntry(
+            "fig8_2",
+            "rateless spinal vs every fixed-rate version of itself "
+            "(Figure 8-2)",
+            _build_fig8_2, _report_fig8_2),
+        CatalogEntry(
             "fig8_4",
             "Rayleigh fading with CSI: spinal vs Strider+ at tau=1/10/100 "
             "(Figure 8-4)",
             _build_fig8_4, _report_fig8_4),
+        CatalogEntry(
+            "fig8_5",
+            "Rayleigh fading decoded blind (phase-only CSI): spinal vs "
+            "Strider+ at tau=1/10/100 (Figure 8-5)",
+            _build_fig8_5, _report_fig8_5),
+        CatalogEntry(
+            "smoke_fading",
+            "tiny Rayleigh spec exercising the batched fading/CSI decode "
+            "path end-to-end",
+            _build_smoke_fading, _report_generic),
         CatalogEntry(
             "smoke",
             "tiny fixed-count spec: two AWGN points, seconds to run",

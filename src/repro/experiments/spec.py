@@ -75,9 +75,10 @@ def _make_spinal(
     n_bits: int,
     params: Mapping | None = None,
     decoder: Mapping | None = None,
-    give_csi: bool = False,
+    give_csi: bool | str = False,
     probe_growth: float = 1.5,
     label: str | None = None,
+    fixed_passes: int | None = None,
 ) -> RatelessScheme:
     return SpinalScheme(
         SpinalParams(**dict(params or {})),
@@ -86,6 +87,7 @@ def _make_spinal(
         give_csi=give_csi,
         probe_growth=probe_growth,
         label=label,
+        fixed_passes=fixed_passes,
     )
 
 
@@ -298,11 +300,28 @@ def _digest(payload) -> str:
         canonical_json(payload).encode("utf-8")).hexdigest()[:16]
 
 
+def _hash_payload(point: PointSpec) -> dict:
+    """The result-determining fields of a point.
+
+    ``batch_size`` is an execution-strategy knob, not part of the result:
+    the batched engine is bit-identical to the scalar one (the
+    ``run_messages`` contract, asserted by ``tests/test_batch_equivalence``
+    for every channel family), so rebatching a sweep must keep its content
+    address — otherwise tuning the knob silently discards every cached
+    point.
+    """
+    payload = point.as_dict()
+    del payload["batch_size"]
+    return payload
+
+
 def point_hash(point: PointSpec) -> str:
     """Content address of one operating point (the store's result key)."""
-    return _digest(point.as_dict())
+    return _digest(_hash_payload(point))
 
 
 def spec_hash(spec: ExperimentSpec) -> str:
     """Content address of the whole spec (the store's file name)."""
-    return _digest(spec.as_dict())
+    payload = spec.as_dict()
+    payload["points"] = [_hash_payload(p) for p in spec.points]
+    return _digest(payload)

@@ -20,15 +20,20 @@ so probing and bisection never rebuild symbol storage.
 probe point all still-undecoded messages are decoded together by a
 :class:`~repro.core.decoder.BatchBubbleDecoder` (and bisection steps are
 grouped by probe point), which amortises the per-step numpy call overhead
-over the whole cohort.  The batch path requires **memoryless** channels
-(``Channel.memoryless``): each message owns its channel and RNG so results
-are bit-identical to scalar sessions, but stateful models — Rayleigh block
-fading, whose coherence block spans transmit calls, or the shared-medium
-symbol clock — couple a message's draws to *when* it transmits, and CSI is
-a per-message array the batched branch-cost kernel does not carry.  For
-those, :meth:`BatchSession.run` transparently falls back to per-message
-scalar :class:`SpinalSession` runs, preserving results exactly at scalar
-speed.
+over the whole cohort.  The batch path requires **per-message channel
+ownership** (``Channel.private_state``, and no instance shared between
+rows): each message's channel state and RNG stream must be a pure function
+of that message's own transmit sequence, which the cohort preserves — a
+row transmits the same subpass blocks, in the same order, as its scalar
+twin, and leaves the cohort at exactly the subpass where the scalar
+session would stop.  That makes stateful-but-private models (Rayleigh
+block fading, whose coherence block spans transmit calls) batchable, and
+CSI-consuming decodes batch too: the store carries a per-message CSI plane
+and the batch decoder the coherent ``|y - h x|^2`` metric (the "phase"
+policy derotates at receive time, exactly as the scalar receiver does).
+Only channels whose state is coupled *across* instances — the
+shared-medium symbol clock — fall back to per-message scalar
+:class:`SpinalSession` runs, preserving results exactly at scalar speed.
 
 Success is judged against the transmitted message (oracle mode, standard
 for rate curves — it measures code performance without protocol overhead).
@@ -273,10 +278,12 @@ class BatchSession:
     :class:`SpinalSession` on the same (message, channel) pair: same
     success flags, symbol counts, attempt counts and path costs.
 
-    Channels must be memoryless (``Channel.memoryless``) for the batch
-    path; cohorts containing stateful channels (fading, shared-medium) are
-    transparently run through per-message scalar sessions instead — see the
-    module docstring for why.
+    Channels must be per-message (``Channel.private_state``, one distinct
+    instance per row) for the batch path — stateful-but-private models
+    (block fading) and CSI-consuming decodes batch fine; cohorts containing
+    cross-message state (shared-medium channels, or one instance reused
+    across rows) are transparently run through per-message scalar sessions
+    instead — see the module docstring for why.
 
     Parameters
     ----------
@@ -311,23 +318,47 @@ class BatchSession:
         return self.messages.shape[0]
 
     def _can_batch(self) -> bool:
-        # Stateful channels need strict transmission-order semantics, and a
-        # decoder that is meant to *see* CSI ("full"/"phase") needs the
-        # per-symbol coefficients the batched kernel does not carry — both
-        # take the scalar path.  Under the "none" policy any reported CSI
-        # is dropped either way, so batching stays bit-identical.
-        return (self.csi_mode == "none"
-                and all(ch.memoryless for ch in self.channels))
+        # The real precondition is per-message channel ownership: a row's
+        # transmit stream must depend only on its own call sequence (which
+        # the cohort reproduces exactly), so stateful-but-private models
+        # like block fading batch fine.  Shared-state channels cannot, and
+        # neither can one instance reused across rows — interleaved cohort
+        # transmits would consume its RNG/state in a different order than
+        # M sequential scalar sessions.  The cohort must also be
+        # CSI-homogeneous (the batch store's CSI plane is all-or-nothing
+        # across rows); mixed-family cohorts are fine per message, so they
+        # take the scalar path.
+        return (all(ch.private_state for ch in self.channels)
+                and len({id(ch) for ch in self.channels}) == self.n_messages
+                and len({ch.reports_csi for ch in self.channels}) == 1)
 
-    def _run_scalar(self) -> list[SessionResult]:
+    def _run_scalar(
+        self, fixed_passes: int | None = None
+    ) -> list[SessionResult]:
         """Per-message fallback: exact scalar semantics, scalar speed."""
-        return [
-            SpinalSession(
+        out: list[SessionResult] = []
+        for m in range(self.n_messages):
+            session = SpinalSession(
                 self.params, self.dec, self.messages[m], self.channels[m],
                 give_csi=self.csi_mode, probe_growth=self.probe_growth,
-            ).run()
-            for m in range(self.n_messages)
-        ]
+            )
+            out.append(session.run() if fixed_passes is None
+                       else session.run_fixed_rate(fixed_passes))
+        return out
+
+    def _make_pipeline(
+        self,
+    ) -> tuple[BatchSpinalEncoder, BatchBubbleDecoder, BatchReceivedSymbols]:
+        """The shared encoder/decoder/store triple of one batched cohort."""
+        encoder = BatchSpinalEncoder(self.params, self.messages)
+        decoder = BatchBubbleDecoder(
+            self.params, self.dec, self.messages.shape[1]
+        )
+        store = BatchReceivedSymbols(
+            encoder.n_spine, self.n_messages,
+            complex_valued=not self.params.is_bsc,
+        )
+        return encoder, decoder, store
 
     def run(self) -> list[SessionResult]:
         """Rateless transmission of the cohort; one result per message."""
@@ -335,13 +366,7 @@ class BatchSession:
             return self._run_scalar()
 
         M = self.n_messages
-        encoder = BatchSpinalEncoder(self.params, self.messages)
-        decoder = BatchBubbleDecoder(
-            self.params, self.dec, self.messages.shape[1]
-        )
-        store = BatchReceivedSymbols(
-            encoder.n_spine, M, complex_valued=not self.params.is_bsc
-        )
+        encoder, decoder, store = self._make_pipeline()
         checkpoints = [store.checkpoint()]
         cum_symbols = [0]
         w = encoder.subpasses_per_pass
@@ -359,8 +384,10 @@ class BatchSession:
                 received = transmit_batch(
                     [self.channels[m] for m in rows], block.values
                 )
+                values, csi = received_view(received, self.csi_mode)
                 store.add_block(
-                    block.spine_indices, block.slots, received, rows=rows
+                    block.spine_indices, block.slots, values,
+                    rows=rows, csi=csi,
                 )
                 checkpoints.append(store.checkpoint())
                 cum_symbols.append(cum_symbols[-1] + len(block))
@@ -432,3 +459,41 @@ class BatchSession:
                     path_cost=float(last_cost[m]),
                 ))
         return results
+
+    def run_fixed_rate(self, n_passes: int) -> list[SessionResult]:
+        """Fixed-rate cohort (Figure 8-2): L passes each, one batched decode.
+
+        Per message, bit-identical to
+        :meth:`SpinalSession.run_fixed_rate` on the same (message, channel)
+        pair — every row transmits the same L passes its scalar twin would,
+        then the whole cohort decodes once.
+        """
+        if not self._can_batch():
+            return self._run_scalar(fixed_passes=n_passes)
+
+        M = self.n_messages
+        encoder, decoder, store = self._make_pipeline()
+        n_subpasses = n_passes * encoder.subpasses_per_pass
+        rows = np.arange(M, dtype=np.intp)
+        n_symbols = 0
+        for g in range(n_subpasses):
+            block = encoder.generate_batch(g, rows=rows)
+            received = transmit_batch(self.channels, block.values)
+            values, csi = received_view(received, self.csi_mode)
+            store.add_block(
+                block.spine_indices, block.slots, values, rows=rows, csi=csi
+            )
+            n_symbols += len(block)
+        results = decoder.decode_batch(store.prefix(rows, store.checkpoint()))
+        n_bits = self.messages.shape[1]
+        return [
+            SessionResult(
+                success=results[m].matches(self.messages[m]),
+                n_symbols=n_symbols,
+                n_subpasses=n_subpasses,
+                n_bits=n_bits,
+                n_attempts=1,
+                path_cost=results[m].path_cost,
+            )
+            for m in range(M)
+        ]

@@ -202,22 +202,29 @@ class RatelessScheme:
 
 
 class SpinalScheme(RatelessScheme):
-    """Spinal code adapter for the shared engine."""
+    """Spinal code adapter for the shared engine.
+
+    ``fixed_passes`` switches off ratelessness: transmit exactly that many
+    passes and decode once (the "rated" curves of Figure 8-2).  ``None``
+    (the default) runs the usual rateless probe-and-bisect session.
+    """
 
     def __init__(
         self,
         params: SpinalParams,
         decoder_params: DecoderParams,
         n_bits: int,
-        give_csi: bool = False,
+        give_csi: bool | str = False,
         probe_growth: float = 1.5,
         label: str | None = None,
+        fixed_passes: int | None = None,
     ):
         self.params = params
         self.decoder_params = decoder_params
         self.n_bits = n_bits
         self.give_csi = give_csi
         self.probe_growth = probe_growth
+        self.fixed_passes = fixed_passes
         self.name = label or f"spinal n={n_bits} k={params.k} B={decoder_params.B}"
 
     def run_message(
@@ -228,7 +235,10 @@ class SpinalScheme(RatelessScheme):
             self.params, self.decoder_params, message, channel,
             give_csi=self.give_csi, probe_growth=self.probe_growth,
         )
-        result = session.run()
+        if self.fixed_passes is None:
+            result = session.run()
+        else:
+            result = session.run_fixed_rate(self.fixed_passes)
         return (self.n_bits if result.success else 0), result.n_symbols
 
     def run_cohort(
@@ -238,17 +248,21 @@ class SpinalScheme(RatelessScheme):
 
         Messages are drawn per-rng in cohort order — the same draws the
         scalar loop makes — and :class:`BatchSession` falls back to scalar
-        sessions itself when a channel is stateful, so this is always
-        result-identical to the base-class loop.
+        sessions itself when a channel's state is not message-private, so
+        this is always result-identical to the base-class loop.
         """
         messages = np.stack([random_message(self.n_bits, rng) for rng in rngs])
         session = BatchSession(
             self.params, self.decoder_params, messages, list(channels),
             give_csi=self.give_csi, probe_growth=self.probe_growth,
         )
+        if self.fixed_passes is None:
+            results = session.run()
+        else:
+            results = session.run_fixed_rate(self.fixed_passes)
         return [
             ((self.n_bits if r.success else 0), r.n_symbols)
-            for r in session.run()
+            for r in results
         ]
 
 

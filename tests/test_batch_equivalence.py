@@ -6,7 +6,8 @@ The batch engine's contract is strict: running M messages as one
 subpass counts, attempt counts, and (floating-point identical) path costs —
 because each message keeps its own channel/RNG and the vectorised kernels
 preserve the scalar arithmetic ordering.  These tests pin that contract on
-AWGN and BSC, across puncturing schedules and pruning depths, including
+AWGN, BSC and Rayleigh block fading (under every CSI policy the receiver
+supports), across puncturing schedules and pruning depths, including
 failing messages, and at the measurement layer (`measure_scheme` with and
 without ``batch_size``).
 """
@@ -129,34 +130,90 @@ class TestBatchSessionEquivalence:
             batch = BatchSession(params, dec, messages, channels).run()
             _assert_results_identical(scalar, batch)
 
-    def test_stateful_channel_falls_back_to_scalar(self):
-        """Fading channels route through the scalar path, same results."""
+    @pytest.mark.parametrize("give_csi", ["none", "phase", "full"])
+    @pytest.mark.parametrize("tau", [1, 10, 100])
+    def test_fading_batches_identically(self, give_csi, tau):
+        """Rayleigh cohorts batch under every CSI policy, bit for bit.
+
+        Block fading is stateful (the coherence block spans transmit
+        calls), but its state is private to each message's channel — the
+        cohort preserves per-channel call sequences exactly, so the batch
+        path must reproduce scalar sessions including the per-symbol
+        coefficients the "full" decoder consumes and the derotation the
+        "phase" receiver applies.
+        """
         params = SpinalParams()
         dec = DecoderParams(B=32, max_passes=16)
         make = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
-            18, coherence_time=10, rng=rng)
-        messages, channels, rebuild = _cohort(make, 64, 3, seed=3)
+            18, coherence_time=tau, rng=rng)
+        messages, channels, rebuild = _cohort(make, 64, 4, seed=3)
         assert not all(c.memoryless for c in channels)
+        session = BatchSession(params, dec, messages, channels,
+                               give_csi=give_csi)
+        assert session._can_batch()
         scalar_msgs, scalar_chans, _ = rebuild()
         scalar = [
             SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
-                          give_csi=True).run()
-            for m in range(3)
+                          give_csi=give_csi).run()
+            for m in range(4)
         ]
-        batch = BatchSession(params, dec, messages, channels,
-                             give_csi=True).run()
-        _assert_results_identical(scalar, batch)
+        _assert_results_identical(scalar, session.run())
 
-    def test_csi_mode_falls_back_to_scalar(self):
-        """A decoder that wants to *see* CSI cannot batch — even over
-        memoryless channels the cohort must take the scalar path."""
+    @pytest.mark.parametrize("give_csi", ["none", "phase", "full"])
+    def test_fading_punctured_and_failure_cohorts(self, give_csi):
+        """Fading batch equivalence holds off the happy path too: sparse
+        puncturing with pruning depth d=2, and a low-SNR/tiny-budget cohort
+        where most messages give up (the failure bookkeeping path)."""
+        make = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+            16, coherence_time=10, rng=rng)
+        punct = (SpinalParams(k=2, puncturing="4-way"),
+                 DecoderParams(B=8, d=2, max_passes=12))
+        make_fail = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+            -5, coherence_time=10, rng=rng)
+        fail = (SpinalParams(), DecoderParams(B=8, max_passes=3))
+        for (params, dec), factory in ((punct, make), (fail, make_fail)):
+            messages, channels, rebuild = _cohort(factory, 48, 5, seed=11)
+            scalar_msgs, scalar_chans, _ = rebuild()
+            scalar = [
+                SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
+                              give_csi=give_csi).run()
+                for m in range(5)
+            ]
+            batch = BatchSession(params, dec, messages, channels,
+                                 give_csi=give_csi).run()
+            _assert_results_identical(scalar, batch)
+
+    @pytest.mark.parametrize("n_passes", [1, 3])
+    def test_fixed_rate_batch_reproduces_scalar(self, n_passes):
+        """The rated (Figure 8-2) cohort path: L passes, one batched decode."""
+        params = SpinalParams(puncturing="none", tail_symbols=2)
+        dec = DecoderParams(B=16, max_passes=12)
+        for make, give_csi in (
+            (lambda rng: AWGNChannel(8, rng=rng), False),
+            (lambda rng: RayleighBlockFadingChannel(
+                15, coherence_time=10, rng=rng), "full"),
+        ):
+            messages, channels, rebuild = _cohort(make, 48, 4, seed=13)
+            scalar_msgs, scalar_chans, _ = rebuild()
+            scalar = [
+                SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
+                              give_csi=give_csi).run_fixed_rate(n_passes)
+                for m in range(4)
+            ]
+            batch = BatchSession(params, dec, messages, channels,
+                                 give_csi=give_csi).run_fixed_rate(n_passes)
+            _assert_results_identical(scalar, batch)
+
+    def test_csi_mode_batches_over_memoryless_channels(self):
+        """A decoder that wants to *see* CSI batches fine — over AWGN the
+        channel reports no coefficients and the store stays CSI-less."""
         params = SpinalParams()
         dec = DecoderParams(B=16, max_passes=8)
         make = lambda rng: AWGNChannel(12, rng=rng)  # noqa: E731
         messages, channels, rebuild = _cohort(make, 64, 3, seed=9)
         session = BatchSession(params, dec, messages, channels,
                                give_csi="full")
-        assert not session._can_batch()
+        assert session._can_batch()
         scalar_msgs, scalar_chans, _ = rebuild()
         scalar = [
             SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m],
@@ -164,6 +221,56 @@ class TestBatchSessionEquivalence:
             for m in range(3)
         ]
         _assert_results_identical(scalar, session.run())
+
+    def test_shared_state_channel_falls_back_to_scalar(self):
+        """Channels whose state is coupled across instances (the
+        shared-medium clock) must keep taking the scalar path."""
+        from repro.channels import SharedChannel
+
+        params = SpinalParams()
+        dec = DecoderParams(B=8, max_passes=6)
+        messages, channels, _ = _cohort(
+            lambda rng: SharedChannel(AWGNChannel(12, rng=rng)), 32, 3, seed=2)
+        session = BatchSession(params, dec, messages, channels)
+        assert not session._can_batch()
+        assert all(r.success for r in session.run())
+
+    def test_mixed_family_cohort_falls_back_to_scalar(self):
+        """A cohort mixing CSI-reporting and CSI-less channels is valid per
+        message but unrepresentable in the batch store's all-or-nothing CSI
+        plane — it must transparently take the scalar path, as before."""
+        params = SpinalParams()
+        dec = DecoderParams(B=8, max_passes=6)
+        def make(rng):
+            if make.calls % 2 == 0:
+                ch = AWGNChannel(12, rng=rng)
+            else:
+                ch = RayleighBlockFadingChannel(12, coherence_time=10, rng=rng)
+            make.calls += 1
+            return ch
+        make.calls = 0
+        messages, channels, rebuild = _cohort(make, 32, 4, seed=5)
+        session = BatchSession(params, dec, messages, channels)
+        assert not session._can_batch()
+        make.calls = 0
+        scalar_msgs, scalar_chans, _ = rebuild()
+        scalar = [
+            SpinalSession(params, dec, scalar_msgs[m], scalar_chans[m]).run()
+            for m in range(4)
+        ]
+        _assert_results_identical(scalar, session.run())
+
+    def test_duplicate_channel_instance_falls_back_to_scalar(self):
+        """One channel instance reused across rows is not per-message
+        ownership: interleaved cohort transmits would consume its RNG in a
+        different order than M sequential scalar sessions."""
+        params = SpinalParams()
+        dec = DecoderParams(B=8, max_passes=6)
+        rng = np.random.default_rng(0)
+        messages = np.stack([random_message(32, rng) for _ in range(3)])
+        shared = AWGNChannel(12, rng=1)
+        session = BatchSession(params, dec, messages, [shared] * 3)
+        assert not session._can_batch()
 
 
 class TestBatchDecoderEquivalence:
@@ -237,6 +344,21 @@ class TestMeasureSchemeBatching:
         factory = lambda rng: BSCChannel(0.05, rng=rng)  # noqa: E731
         scalar = self._measure(None, factory, reference="bsc")
         batched = self._measure(4, factory, reference="bsc")
+        assert scalar == batched
+
+    @pytest.mark.parametrize("give_csi", ["none", "phase", "full"])
+    def test_batched_measurement_identical_fading(self, give_csi):
+        """The fig8_4/8_5-style sweep shape: fading factory + CSI policy,
+        measured with and without batching, field-for-field identical."""
+        params = SpinalParams()
+        dec = DecoderParams(B=16, max_passes=10)
+        scheme = SpinalScheme(params, dec, 64, give_csi=give_csi)
+        factory = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+            14, coherence_time=10, rng=rng)
+        kwargs = dict(snr_db=14.0, n_messages=6, seed=8,
+                      capacity_reference="rayleigh")
+        scalar = measure_scheme(scheme, factory, **kwargs)
+        batched = measure_scheme(scheme, factory, batch_size=6, **kwargs)
         assert scalar == batched
 
     def test_invalid_batch_size(self):
@@ -407,13 +529,43 @@ class TestColumnarStore:
         store.add_block(np.array([0, 1]), np.array([1, 1]),
                         np.array([[7.0, 8.0]]), rows=np.array([1]))
         view_all = store.prefix(np.arange(3), ckpt1)
-        slots, vals = view_all.for_spine(0)
+        slots, vals, csi = view_all.for_spine(0)
         assert slots.tolist() == [0]
         assert vals[:, 0].tolist() == [1.0, 3.0, 5.0]
+        assert csi is None
         view_row1 = store.prefix(np.array([1]), store.checkpoint())
-        slots, vals = view_row1.for_spine(0)
+        slots, vals, _ = view_row1.for_spine(0)
         assert slots.tolist() == [0, 1]
         assert vals[0].tolist() == [3.0, 7.0]
+
+    def test_batch_store_csi_plane(self):
+        """The batch store's CSI plane scatters per (spine, row, slot) and
+        obeys the scalar store's all-or-nothing discipline."""
+        store = BatchReceivedSymbols(2, 2)
+        store.add_block(
+            np.array([0, 1]), np.array([0, 0]),
+            np.array([[1.0 + 0j, 2.0], [3.0, 4.0]]),
+            csi=np.array([[1.0 + 1j, 2.0 + 2j], [3.0 + 3j, 4.0 + 4j]]),
+        )
+        assert store.has_csi
+        with pytest.raises(ValueError, match="keep providing"):
+            store.add_block(np.array([0]), np.array([1]),
+                            np.array([[5.0 + 0j], [6.0]]))
+        store.add_block(np.array([0]), np.array([1]),
+                        np.array([[5.0 + 0j]]), rows=np.array([1]),
+                        csi=np.array([[5.0 + 5j]]))
+        view = store.prefix(np.array([1]), store.checkpoint())
+        slots, vals, csi = view.for_spine(0)
+        assert slots.tolist() == [0, 1]
+        assert vals[0].tolist() == [3.0, 5.0]
+        assert csi[0].tolist() == [3.0 + 3j, 5.0 + 5j]
+        late = BatchReceivedSymbols(2, 2)
+        late.add_block(np.array([0]), np.array([0]),
+                       np.array([[1.0 + 0j], [2.0]]))
+        with pytest.raises(ValueError, match="first block"):
+            late.add_block(np.array([1]), np.array([0]),
+                           np.array([[1.0 + 0j], [2.0]]),
+                           csi=np.array([[1.0 + 0j], [1.0 + 0j]]))
 
 
 class TestCapacityReference:

@@ -299,7 +299,8 @@ class TestAdaptive:
 
 class TestCatalog:
     def test_names(self):
-        assert {"fig8_1", "bsc", "fig8_4", "smoke"} <= set(catalog_names())
+        assert {"fig8_1", "fig8_2", "bsc", "fig8_4", "fig8_5",
+                "smoke", "smoke_fading"} <= set(catalog_names())
 
     def test_specs_build_and_hash_stably(self):
         for name in catalog_names():
@@ -328,7 +329,38 @@ class TestCatalog:
             [int(snr) + 10 for snr in grid(0, 30, 10.0)]
         assert all(p.channel.options == {"coherence_time": 10}
                    for p in spinal_10)
-        assert all(p.batch_size is None for p in spinal_10)
+        # fading cohorts run the batched decode pipeline (bit-identical to
+        # the scalar sweep the legacy bench ran)
+        assert all(p.batch_size == p.n_messages == 2 for p in spinal_10)
+
+    def test_fig8_5_matches_legacy_seeding(self):
+        spec = build_spec("fig8_5", "quick")
+        spinal_10 = [p for p in spec.points if p.series == "spinal tau=10"]
+        strider_10 = [p for p in spec.points if p.series == "strider+ tau=10"]
+        assert [p.seed for p in spinal_10] == \
+            [int(snr) + 10 for snr in grid(10, 30, 10.0)]
+        assert [p.seed for p in strider_10] == \
+            [int(snr) + 10 + 7 for snr in grid(10, 30, 10.0)]
+        assert all(p.scheme.options["give_csi"] == "phase"
+                   for p in spinal_10 + strider_10)
+        assert all(p.batch_size == p.n_messages == 2 for p in spinal_10)
+
+    def test_fig8_2_matches_legacy_seeding(self):
+        spec = build_spec("fig8_2", "quick")
+        snrs = grid(0, 30, 5.0)
+        rateless = [p for p in spec.points if p.series == "spinal rateless"]
+        assert [p.seed for p in rateless] == \
+            [100 + i for i in range(len(snrs))]
+        assert all(
+            "fixed_passes" not in p.scheme.options for p in rateless)
+        rated_4 = [p for p in spec.points if p.series == "spinal fixed L=4"]
+        assert [p.seed for p in rated_4] == \
+            [200 + 17 * i + 4 for i in range(len(snrs))]
+        assert all(p.scheme.options["fixed_passes"] == 4 for p in rated_4)
+        assert all(
+            p.scheme.options["params"] ==
+            {"puncturing": "none", "tail_symbols": 2}
+            for p in rated_4)
 
     def test_bsc_spec_uses_bsc_capacity_reference(self):
         spec = build_spec("bsc", "quick")
