@@ -1,10 +1,14 @@
 """Shared helpers for the benchmark harness.
 
-Every bench reproduces one paper table or figure: it sweeps the paper's
-parameters (scaled down by default — the paper averages megabits per SNR
-point), prints the same rows/series the paper reports, writes CSV to
-``bench_results/``, and asserts the qualitative shape (who wins, where
-curves saturate or cross).
+Every bench reproduces one paper table or figure: it prints the same
+rows/series the paper reports, writes CSV to ``bench_results/``, and
+asserts the qualitative shape (who wins, where curves saturate or cross).
+
+Since the ``repro.experiments`` migration every sweep-running bench is a
+thin wrapper over a registered catalog spec (:func:`run_catalog`); the
+hand-rolled sweep helpers (``snr_grid``, ``awgn_factory``, ``finish``,
+``scale``) that each script used to carry are gone — grids, seeds, and
+trial counts live in ``repro/experiments/catalog.py`` now.
 
 Set ``REPRO_SCALE=full`` for denser SNR grids and more messages per point;
 the default ``quick`` profile keeps the whole suite in tens of minutes.
@@ -15,10 +19,7 @@ from __future__ import annotations
 import os
 import sys
 
-import numpy as np
-
-from repro.channels import AWGNChannel
-from repro.utils.results import ExperimentResult, write_canonical_json
+from repro.utils.results import write_canonical_json
 
 RESULTS_DIR = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "bench_results")
@@ -31,11 +32,6 @@ PROFILE = "full" if FULL else "quick"
 
 #: Content-addressed point cache shared with ``python -m repro.experiments``.
 STORE_DIR = os.path.join(RESULTS_DIR, "store")
-
-
-def scale(quick_value: int, full_value: int) -> int:
-    """Pick a trial count / grid density based on the scale profile."""
-    return full_value if FULL else quick_value
 
 
 def run_catalog(name: str):
@@ -60,26 +56,6 @@ def run_catalog(name: str):
           f"{run.n_computed} computed -> {run.store_path}",
           file=sys.stderr)
     return report
-
-
-def snr_grid(lo: float, hi: float, quick_step: float, full_step: float = 1.0):
-    """SNR sweep grid; the paper steps 1 dB, quick profiles step coarser."""
-    step = full_step if FULL else quick_step
-    return list(np.arange(lo, hi + 1e-9, step))
-
-
-def awgn_factory(snr_db: float):
-    """Channel factory for one AWGN operating point."""
-    return lambda rng: AWGNChannel(snr_db, rng=rng)
-
-
-def finish(result: ExperimentResult) -> None:
-    """Print and persist an experiment's series."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    print()
-    print(result.render())
-    path = result.write_csv(RESULTS_DIR)
-    print(f"[csv] {path}")
 
 
 def write_json(name: str, payload) -> str:

@@ -4,46 +4,25 @@ Theory: the Gaussian map closes the uniform map's 0.25 bit/symbol shaping
 gap asymptotically; "in simulation with finite n, however, we do not see
 significant performance differences" — re-checked here.  Also prints the
 Theorem 1 bound alongside the measured rates.
+
+The sweep lives in the ``ablation_constellation`` entry of
+``repro.experiments.catalog`` (same grid and ``int(snr) + 5`` seeds as
+the pre-migration script); reruns are served from
+``bench_results/store/``.
 """
 
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
 from repro.theory import achievable_rate_bound
-from repro.utils.results import ExperimentResult
 
-from _common import awgn_factory, finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(0, 25, quick_step=5.0)
-    n_msgs = scale(3, 10)
-    dec = DecoderParams(B=256, max_passes=40)
-    curves = {}
-    for name in ("uniform", "gaussian"):
-        params = SpinalParams(mapping_name=name)
-        curves[name] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
-                n_msgs, seed=int(snr) + 5).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("ablation_constellation")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_ablation_constellation(benchmark):
     snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "ablation_constellation", "Constellation map ablation (§3.3, §4.6)",
-        "snr_db", "rate_bits_per_symbol")
-    for name, curve in curves.items():
-        s = result.new_series(name)
-        for snr in snrs:
-            s.add(snr, curve[snr])
-    bound = result.new_series("theorem-1 bound (c=6)")
-    for snr in snrs:
-        bound.add(snr, achievable_rate_bound(6, snr))
-    finish(result)
 
     # "no significant performance differences" at finite n
     for snr in snrs:

@@ -3,44 +3,24 @@
 The paper tried Salsa20, lookup3, and one-at-a-time and saw "no
 discernible difference in performance"; one-at-a-time (the cheapest) is
 used everywhere.  This bench re-checks that claim.
+
+The sweep lives in the ``ablation_hash`` entry of
+``repro.experiments.catalog`` (same grid and ``int(snr)`` seeds as the
+pre-migration script); reruns are served from ``bench_results/store/``.
 """
 
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 HASHES = ("one_at_a_time", "lookup3", "salsa20")
 
 
 def _run():
-    snrs = snr_grid(5, 25, quick_step=10.0, full_step=5.0)
-    n_msgs = scale(3, 10)
-    dec = DecoderParams(B=128, max_passes=40)
-    curves = {}
-    for name in HASHES:
-        params = SpinalParams(hash_name=name)
-        curves[name] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
-                n_msgs, seed=int(snr)).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("ablation_hash")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_ablation_hash(benchmark):
     snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "ablation_hash", "Hash function ablation (§7.1)",
-        "snr_db", "rate_bits_per_symbol")
-    for name in HASHES:
-        s = result.new_series(name)
-        for snr in snrs:
-            s.add(snr, curves[name][snr])
-    finish(result)
 
     # "no discernible difference": sweep averages agree within 15% (per
     # point we allow Monte-Carlo slack at quick-profile trial counts)

@@ -4,58 +4,32 @@ n=256, k=4, B=256, 8-way puncturing: full passes are ~64 symbols and
 subpasses 8.  The per-message symbol counts show the instantaneous-noise
 adaptation behind the hedging effect (complements Figure 8-2), with
 concentration at higher SNR and subpass quantisation artifacts.
+
+The sweep lives in the ``fig8_11`` entry of ``repro.experiments.catalog``
+as ``symbol_cdf`` points — the store record is the distribution itself
+(every successful message's symbol count), not a pooled rate.  Seeds
+(``seed = snr``) and the per-message RNG stream match the pre-migration
+script; reruns are served from ``bench_results/store/``.
 """
 
 import numpy as np
 
-from repro.channels import AWGNChannel, awgn_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalSession
-from repro.utils.bitops import random_message
-from repro.utils.results import ExperimentResult
+from repro.channels import awgn_capacity
 
-from _common import finish, run_once, scale
+from _common import run_catalog, run_once
 
 SNRS = (6, 10, 14, 18, 22, 26)
 N_BITS = 256
 
 
-def _symbol_counts(snr, n_messages, seed):
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=48)
-    master = np.random.default_rng(seed)
-    counts = []
-    for _ in range(n_messages):
-        rng = np.random.default_rng(master.integers(0, 2**63))
-        msg = random_message(N_BITS, rng)
-        session = SpinalSession(params, dec, msg, AWGNChannel(snr, rng=rng),
-                                probe_growth=1.0)
-        result = session.run()
-        if result.success:
-            counts.append(result.n_symbols)
-    return np.array(counts)
-
-
 def _run():
-    n_msgs = scale(12, 60)
-    return {snr: _symbol_counts(snr, n_msgs, seed=snr) for snr in SNRS}
+    report = run_catalog("fig8_11")
+    return report["counts"], report["medians"]
 
 
 def test_bench_fig8_11(benchmark):
-    counts = run_once(benchmark, _run)
+    counts, medians = run_once(benchmark, _run)
 
-    result = ExperimentResult(
-        "fig8_11_symbol_cdf", "CDF of symbols to decode (Figure 8-11)",
-        "n_symbols", "cdf")
-    for snr in SNRS:
-        s = result.new_series(f"SNR={snr}dB")
-        data = np.sort(counts[snr])
-        for i, x in enumerate(data):
-            s.add(float(x), (i + 1) / data.size)
-    finish(result)
-
-    medians = {snr: float(np.median(counts[snr])) for snr in SNRS}
-    print("medians:", medians)
     # higher SNR needs fewer symbols, monotonically across the sweep ends
     assert medians[26] < medians[14] < medians[6]
     # the median tracks capacity: n/median within a factor of capacity

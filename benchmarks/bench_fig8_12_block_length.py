@@ -3,55 +3,24 @@
 Longer code blocks give the decoder more chances to lose the true path
 (once pruned, resynchronisation is unlikely), so at fixed B they need more
 symbols per bit: the gap to capacity widens with n.
+
+The sweep lives in the ``fig8_12`` entry of ``repro.experiments.catalog``
+(same grid and ``n + int(snr)`` seeds as the pre-migration script; the
+quick profile drops n=2048 exactly as the script did); reruns are served
+from ``bench_results/store/``.
 """
 
-from repro.channels import gap_to_capacity_db
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-BLOCK_LENGTHS = (64, 128, 256, 512, 1024, 2048)
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(5, 25, quick_step=10.0, full_step=5.0)
-    lengths = BLOCK_LENGTHS if scale(0, 1) else BLOCK_LENGTHS[:5]
-    n_msgs = scale(3, 10)
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=40)
-    curves = {}
-    for n in lengths:
-        curves[n] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, n), awgn_factory(snr), snr,
-                n_msgs, seed=n + int(snr)).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    return run_catalog("fig8_12")["avg_gap"]
 
 
 def test_bench_fig8_12(benchmark):
-    snrs, curves = run_once(benchmark, _run)
+    avg_gap = run_once(benchmark, _run)
 
-    result = ExperimentResult(
-        "fig8_12_block_length", "Code block length (Figure 8-12)",
-        "snr_db", "gap_to_capacity_db")
-    for n, curve in curves.items():
-        s = result.new_series(f"n={n}")
-        for snr in snrs:
-            if curve[snr] > 0:
-                s.add(snr, gap_to_capacity_db(curve[snr], snr))
-    finish(result)
-
-    lengths = sorted(curves)
-    avg_gap = {}
-    for n in lengths:
-        gaps = [gap_to_capacity_db(curves[n][snr], snr)
-                for snr in snrs if curves[n][snr] > 0]
-        avg_gap[n] = sum(gaps) / len(gaps)
-    print("average gap by n:", {n: round(g, 2) for n, g in avg_gap.items()})
+    lengths = sorted(avg_gap)
     # short blocks closer to capacity than long ones at fixed B
     assert avg_gap[lengths[0]] > avg_gap[lengths[-1]]
     # 256 vs 2048/1024: monotone-ish trend at the extremes

@@ -3,79 +3,24 @@
 Average fraction of capacity over the 5-25 dB range for spinal, Raptor,
 and Strider(+) at packet sizes typical of telephony/gaming.  The paper's
 findings: spinal beats Raptor by 14-20% and Strider by 2.5x-10x here.
+
+The sweep lives in the ``fig8_3`` entry of ``repro.experiments.catalog``
+(same grids and per-code seed bases ``n``/``n+1``/``n+2``/``n+3`` with
+``+ 31 * i`` per grid index as the pre-migration script); reruns are
+served from ``bench_results/store/``.
 """
 
-import numpy as np
-
-from repro.channels import awgn_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.fountain import RaptorScheme
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.strider import StriderScheme
-from repro.utils.results import ExperimentResult, render_table
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 SIZES = (1024, 2048, 3072)
 
 
-def _avg_fraction(scheme, snrs, n_messages, seed):
-    fracs = []
-    for i, snr in enumerate(snrs):
-        m = measure_scheme(scheme, awgn_factory(snr), snr, n_messages,
-                           seed=seed + 31 * i)
-        fracs.append(m.rate / awgn_capacity(snr))
-    return float(np.mean(fracs))
-
-
-def _strider_layers(n_bits: int) -> int:
-    """Layer count whose k_layer stays near the bench profile (~160 bits)."""
-    for g in (12, 8, 6, 4):
-        if n_bits % g == 0:
-            return g
-    return 4
-
-
 def _run():
-    snrs = snr_grid(5, 25, quick_step=10.0, full_step=2.0)
-    n_msgs = scale(2, 8)
-    params = SpinalParams()
-    dec = DecoderParams(B=256, max_passes=40)
-
-    table = {}
-    for n in SIZES:
-        g = _strider_layers(n)
-        table[n] = {
-            "spinal": _avg_fraction(
-                SpinalScheme(params, dec, n), snrs, n_msgs, seed=n),
-            "raptor": _avg_fraction(
-                RaptorScheme(k=n), snrs, n_msgs, seed=n + 1),
-            "strider": _avg_fraction(
-                StriderScheme(n_bits=n, n_layers=g, max_passes=30),
-                snrs, n_msgs, seed=n + 2),
-            "strider+": _avg_fraction(
-                StriderScheme(n_bits=n, n_layers=g, subpasses_per_pass=4,
-                              max_passes=30),
-                snrs, scale(1, 6), seed=n + 3),
-        }
-    return table
+    return run_catalog("fig8_3")["table"]
 
 
 def test_bench_fig8_3(benchmark):
     table = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_3_short_messages",
-        "Fraction of capacity at small block sizes (Figure 8-3)",
-        "message_bits", "fraction_of_capacity")
-    codes = ["spinal", "raptor", "strider", "strider+"]
-    for code in codes:
-        s = result.new_series(code)
-        for n in SIZES:
-            s.add(n, table[n][code])
-    finish(result)
-    rows = [[n] + [f"{table[n][c]:.2f}" for c in codes] for n in SIZES]
-    print(render_table(["bits", *codes], rows))
 
     for n in SIZES:
         assert table[n]["spinal"] > table[n]["raptor"]

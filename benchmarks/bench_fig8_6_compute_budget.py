@@ -4,61 +4,27 @@ x axis: branch evaluations per bit (B 2^k / k); y axis: average fraction
 of capacity over the 2-24 dB range, one curve per k.  Paper conclusions
 asserted: k = 4 performs well across budgets; small k underperforms at
 high SNR; the B=256, k=4 point is a good operating choice.
+
+The sweep lives in the ``fig8_6`` entry of ``repro.experiments.catalog``
+(same grids and ``1000 * k + budget + i`` seeds as the pre-migration
+script); reruns are served from ``bench_results/store/``.
 """
 
-import numpy as np
-
-from repro.channels import awgn_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 BUDGETS = (16, 64, 256, 1024)  # branch evaluations per bit
-KS = (1, 2, 3, 4, 5, 6)
-N_BITS = 240  # divisible by every k in KS (lcm(1..6)=60)
-
-
-def _b_for_budget(budget: int, k: int) -> int:
-    return max(1, round(budget * k / (1 << k)))
 
 
 def _run():
-    snrs = snr_grid(2, 24, quick_step=11.0, full_step=4.0)
-    n_msgs = scale(2, 6)
-    curves = {k: {} for k in KS}
-    for k in KS:
-        params = SpinalParams(k=k)
-        for budget in BUDGETS:
-            b = _b_for_budget(budget, k)
-            dec = DecoderParams(B=b, max_passes=40)
-            fracs = []
-            for i, snr in enumerate(snrs):
-                m = measure_scheme(
-                    SpinalScheme(params, dec, N_BITS), awgn_factory(snr),
-                    snr, n_msgs, seed=1000 * k + budget + i)
-                fracs.append(m.rate / awgn_capacity(snr))
-            curves[k][budget] = float(np.mean(fracs))
-    return curves
+    return run_catalog("fig8_6")["curves"]
 
 
 def test_bench_fig8_6(benchmark):
     curves = run_once(benchmark, _run)
 
-    result = ExperimentResult(
-        "fig8_6_compute_budget",
-        "Compute budget vs fraction of capacity (Figure 8-6)",
-        "branch_evaluations_per_bit", "fraction_of_capacity")
-    for k in KS:
-        s = result.new_series(f"k={k}")
-        for budget in BUDGETS:
-            s.add(budget, curves[k][budget])
-    finish(result)
-
     top_budget = BUDGETS[-1]
     # k=4 is competitive at the top budget: within 10% of the best k
-    best = max(curves[k][top_budget] for k in KS)
+    best = max(curves[k][top_budget] for k in curves)
     assert curves[4][top_budget] > 0.85 * best
     # small k underperforms at high budget (can't reach high rates)
     assert curves[1][top_budget] < curves[4][top_budget]

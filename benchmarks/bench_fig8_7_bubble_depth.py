@@ -5,47 +5,22 @@ explore B 2^(kd) = 4096 nodes per step, but deeper pruning selects whole
 subtrees, trading throughput for much cheaper selection (hardware
 motivation).  Paper: higher-depth decoders achieve lower throughput;
 B=64, d=2 stays close to B=512, d=1.
+
+The sweep lives in the ``fig8_7`` entry of ``repro.experiments.catalog``
+(same grid and ``b + d + int(snr)`` seeds as the pre-migration script);
+reruns are served from ``bench_results/store/``.
 """
 
-from repro.channels import gap_to_capacity_db
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-CONFIGS = ((512, 1), (64, 2), (8, 3), (1, 4))
-N_BITS = 255  # n/k = 85 spine values at k=3
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(0, 30, quick_step=10.0, full_step=5.0)
-    n_msgs = scale(2, 8)
-    params = SpinalParams(k=3)
-    curves = {}
-    for b, d in CONFIGS:
-        dec = DecoderParams(B=b, d=d, max_passes=40)
-        curves[(b, d)] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, N_BITS), awgn_factory(snr), snr,
-                n_msgs, seed=b + d + int(snr)).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("fig8_7")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_fig8_7(benchmark):
     snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_7_bubble_depth", "Bubble depth trade-off (Figure 8-7)",
-        "snr_db", "gap_to_capacity_db")
-    for (b, d), curve in curves.items():
-        s = result.new_series(f"B={b}, d={d}")
-        for snr in snrs:
-            if curve[snr] > 0:
-                s.add(snr, gap_to_capacity_db(curve[snr], snr))
-    finish(result)
 
     # average rates: d=1 should be the best, d=4 the worst
     avg = {cfg: sum(c.values()) / len(c) for cfg, c in curves.items()}

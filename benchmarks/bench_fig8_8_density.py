@@ -2,48 +2,24 @@
 
 Small c caps the achievable rate (too few bits per symbol); the paper
 concludes c = 6 is right for the -5..35 dB range.
+
+The sweep lives in the ``fig8_8`` entry of ``repro.experiments.catalog``
+(same grid and ``c * 100 + int(snr)`` seeds as the pre-migration script);
+reruns are served from ``bench_results/store/``.
 """
 
-from repro.channels import awgn_capacity
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
+from _common import run_catalog, run_once
 
 CS = (1, 2, 3, 4, 5, 6)
 
 
 def _run():
-    snrs = snr_grid(0, 35, quick_step=7.0, full_step=5.0)
-    n_msgs = scale(2, 8)
-    dec = DecoderParams(B=256, max_passes=40)
-    curves = {}
-    for c in CS:
-        params = SpinalParams(c=c)
-        curves[c] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
-                n_msgs, seed=c * 100 + int(snr)).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    report = run_catalog("fig8_8")
+    return report["snrs"], report["curves"]
 
 
 def test_bench_fig8_8(benchmark):
     snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_8_density", "Output symbol density c (Figure 8-8)",
-        "snr_db", "rate_bits_per_symbol")
-    shannon = result.new_series("shannon bound")
-    for snr in snrs:
-        shannon.add(snr, awgn_capacity(snr))
-    for c in CS:
-        s = result.new_series(f"c={c}")
-        for snr in snrs:
-            s.add(snr, curves[c][snr])
-    finish(result)
 
     top = max(snrs)
     # at high SNR, larger c wins decisively (small c caps the rate)

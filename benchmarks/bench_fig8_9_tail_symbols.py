@@ -3,44 +3,21 @@
 Tail symbols sharpen path costs at the end of the message; the paper finds
 two per pass is the sweet spot, with more giving negative returns (channel
 time spent without changing decisions).
+
+The sweep lives in the ``fig8_9`` entry of ``repro.experiments.catalog``
+(same grid and ``tail * 19 + int(snr)`` seeds as the pre-migration
+script); reruns are served from ``bench_results/store/``.
 """
 
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-TAILS = (1, 2, 3, 4, 5)
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(5, 25, quick_step=10.0, full_step=5.0)
-    n_msgs = scale(3, 10)
-    dec = DecoderParams(B=256, max_passes=40)
-    curves = {}
-    for tail in TAILS:
-        params = SpinalParams(tail_symbols=tail)
-        curves[tail] = {
-            snr: measure_scheme(
-                SpinalScheme(params, dec, 256), awgn_factory(snr), snr,
-                n_msgs, seed=tail * 19 + int(snr)).rate
-            for snr in snrs
-        }
-    return snrs, curves
+    return run_catalog("fig8_9")["curves"]
 
 
 def test_bench_fig8_9(benchmark):
-    snrs, curves = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "fig8_9_tail_symbols", "Tail symbol count (Figure 8-9)",
-        "snr_db", "rate_bits_per_symbol")
-    for tail in TAILS:
-        s = result.new_series(f"{tail} tail symbols")
-        for snr in snrs:
-            s.add(snr, curves[tail][snr])
-    finish(result)
+    curves = run_once(benchmark, _run)
 
     avg = {t: sum(c.values()) / len(c) for t, c in curves.items()}
     # 2 tail symbols should beat 5 (pure overhead past the sweet spot)

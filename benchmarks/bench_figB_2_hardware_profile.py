@@ -5,49 +5,22 @@ its over-the-air rates track a similarly-configured software simulation.
 We reproduce the simulation side over the 0-14 dB range the USRP2
 front-ends could reach, and sanity-check it against the full-strength
 B=256 software configuration (the hardware's tiny beam costs rate).
+
+The sweep lives in the ``figB_2`` entry of ``repro.experiments.catalog``
+(same grid and ``300 + i`` / ``400 + i`` seeds as the pre-migration
+script); reruns are served from ``bench_results/store/``.
 """
 
-from repro.core.params import DecoderParams, SpinalParams
-from repro.simulation import SpinalScheme, measure_scheme
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid
-
-N_BITS = 192
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(0, 14, quick_step=2.0, full_step=1.0)
-    n_msgs = scale(5, 25)
-    hw_params = SpinalParams.hardware_profile()  # k=4, c=7
-    hw_dec = DecoderParams(B=4, d=1, max_passes=48)
-    sw_dec = DecoderParams(B=256, d=1, max_passes=48)
-
-    hw = {}
-    sw = {}
-    for i, snr in enumerate(snrs):
-        hw[snr] = measure_scheme(
-            SpinalScheme(hw_params, hw_dec, N_BITS), awgn_factory(snr),
-            snr, n_msgs, seed=300 + i).rate
-        sw[snr] = measure_scheme(
-            SpinalScheme(hw_params, sw_dec, N_BITS), awgn_factory(snr),
-            snr, scale(3, 10), seed=400 + i).rate
-    return snrs, hw, sw
+    report = run_catalog("figB_2")
+    return report["snrs"], report["hw"], report["sw"]
 
 
 def test_bench_figB_2(benchmark):
     snrs, hw, sw = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "figB_2_hardware", "Hardware profile simulation (Figure B-2)",
-        "snr_db", "rate_bits_per_symbol")
-    s = result.new_series("simulation, hardware parameters (B=4)")
-    for snr in snrs:
-        s.add(snr, hw[snr])
-    s = result.new_series("simulation, B=256 reference")
-    for snr in snrs:
-        s.add(snr, sw[snr])
-    finish(result)
 
     # the B-2 curve shape: ~0.5 bits/sym at low SNR to ~2.5-3 at 14 dB
     assert hw[snrs[0]] < 1.2

@@ -10,56 +10,23 @@ SNR by running the same code three ways:
 - ``framed + delay``: the same with a feedback latency in symbol times —
   adds §8.4's wasted-symbols overhead.
 
-Link points run through the multiprocessing batch runner (one job per SNR
-point), so this bench also exercises the sharded execution path.  Output:
-CSV series plus machine-readable ``BENCH_link_goodput.json``.
+The sweep lives in the ``link_goodput`` entry of
+``repro.experiments.catalog`` as ``link`` points — each is one
+:class:`repro.link.runner.LinkJob` through the orchestrator's
+deterministic worker pool, with the three protocol variants sharing
+per-point seeds (``500 + 17 * i``) so the comparison isolates protocol
+overhead, not sampling noise.  Output: CSV series plus machine-readable
+``BENCH_link_goodput.json``, byte-identical to the pre-migration script;
+reruns are served from ``bench_results/store/``.
 """
 
-from repro.core.params import DecoderParams, SpinalParams
-from repro.link import LinkConfig, LinkJob, run_batch
-from repro.simulation import measure_spinal_rate
-from repro.utils.results import ExperimentResult
-
-from _common import awgn_factory, finish, run_once, scale, snr_grid, write_json
-
-FEEDBACK_DELAY = 256  # symbol times; a LAN-ish RTT at short symbol periods
+from _common import run_catalog, run_once
 
 
 def _run():
-    snrs = snr_grid(5, 25, quick_step=5.0)
-    n_packets = scale(3, 8)
-    payload_bytes = scale(16, 64)
-    params = SpinalParams()
-    dec = DecoderParams(B=64, max_passes=32)
-
-    # Paper-standard reference curve (independent seeds; plotted only).
-    reference = {}
-    for i, snr in enumerate(snrs):
-        m = measure_spinal_rate(
-            params, dec, payload_bytes * 8,
-            channel_factory=awgn_factory(snr), snr_db=snr,
-            n_messages=n_packets, seed=300 + i,
-        )
-        reference[snr] = m.rate
-
-    # The three batches share per-point seeds, so the oracle-mode jobs see
-    # the same payload bytes and channel RNG stream as the framed jobs —
-    # the comparison isolates protocol overhead, not sampling noise.
-    def jobs_for(config, tag):
-        return [
-            LinkJob(job_id=f"{tag}_snr{snr:g}", seed=500 + 17 * i,
-                    snr_db=snr, n_packets=n_packets,
-                    payload_bytes=payload_bytes, params=params,
-                    decoder_params=dec, config=config)
-            for i, snr in enumerate(snrs)
-        ]
-
-    oracle = run_batch(jobs_for(LinkConfig(framing=False), "oracle"))
-    framed = run_batch(jobs_for(LinkConfig(max_block_bits=512), "framed"))
-    delayed = run_batch(jobs_for(
-        LinkConfig(max_block_bits=512, feedback_delay=FEEDBACK_DELAY),
-        "delayed"))
-    return snrs, reference, oracle, framed, delayed
+    report = run_catalog("link_goodput")
+    return (report["snrs"], report["reference"], report["oracle"],
+            report["framed"], report["delayed"])
 
 
 def _sweep_goodput(batch):
@@ -71,30 +38,6 @@ def _sweep_goodput(batch):
 
 def test_bench_link_goodput(benchmark):
     snrs, reference, oracle, framed, delayed = run_once(benchmark, _run)
-
-    result = ExperimentResult(
-        "link_goodput", "Oracle rate vs framed link goodput",
-        "snr_db", "bits_per_symbol")
-    s_ref = result.new_series("oracle session (paper metric)")
-    s_oracle = result.new_series("oracle link (shared seeds)")
-    s_framed = result.new_series("framed link")
-    s_delay = result.new_series(f"framed + {FEEDBACK_DELAY}-symbol feedback")
-    for snr, o, f, d in zip(snrs, oracle, framed, delayed):
-        s_ref.add(snr, reference[snr])
-        s_oracle.add(snr, o["goodput"])
-        s_framed.add(snr, f["goodput"])
-        s_delay.add(snr, d["goodput"])
-    finish(result)
-
-    write_json("BENCH_link_goodput", {
-        "experiment": "link_goodput",
-        "feedback_delay": FEEDBACK_DELAY,
-        "snrs_db": [float(s) for s in snrs],
-        "oracle_session_rate": {f"{s:g}": reference[s] for s in snrs},
-        "oracle": oracle,
-        "framed": framed,
-        "framed_delayed": delayed,
-    })
 
     for f, d in zip(framed, delayed):
         if d["n_delivered"] == d["n_packets"] == f["n_delivered"]:

@@ -4,12 +4,13 @@ Mean and 99.99th-percentile PAPR of 802.11a/g OFDM waveforms carrying
 QAM-4, QAM-64, QAM-2^20 (dense uniform) and the truncated Gaussian spinal
 map (beta=2).  Paper's point: OFDM obscures constellation density — all
 rows land at ~7.3 dB mean / ~11.4 dB tail (5M trials there; scaled here).
+
+The sweep lives in the ``table8_1`` entry of ``repro.experiments.catalog``
+as ``papr`` points (one per constellation row, ``seed=8`` as the
+pre-migration script); reruns are served from ``bench_results/store/``.
 """
 
-from repro.ofdm import papr_experiment
-from repro.utils.results import ExperimentResult, render_table
-
-from _common import finish, run_once, scale
+from _common import run_catalog, run_once
 
 ROWS = (
     ("QAM-4", "qam-4"),
@@ -20,28 +21,11 @@ ROWS = (
 
 
 def _run():
-    n_symbols = scale(20_000, 400_000)
-    return {
-        label: papr_experiment(name, n_ofdm_symbols=n_symbols, seed=8)
-        for label, name in ROWS
-    }
+    return run_catalog("table8_1")["table"]
 
 
 def test_bench_table8_1(benchmark):
     table = run_once(benchmark, _run)
-
-    result = ExperimentResult("table8_1_papr", "OFDM PAPR (Table 8.1)",
-                              "row", "papr_db")
-    mean_series = result.new_series("mean")
-    tail_series = result.new_series("p99.99")
-    rows = []
-    for i, (label, _) in enumerate(ROWS):
-        mean, tail = table[label]
-        mean_series.add(i, mean)
-        tail_series.add(i, tail)
-        rows.append([label, f"{mean:.2f} dB", f"{tail:.2f} dB"])
-    finish(result)
-    print(render_table(["Constellation", "Mean PAPR", "99.99% below"], rows))
 
     means = [table[label][0] for label, _ in ROWS]
     tails = [table[label][1] for label, _ in ROWS]

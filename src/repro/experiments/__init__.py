@@ -15,7 +15,11 @@ treats each operating point as a cached, seeded, parallel job:
 - ``python -m repro.experiments`` — list/run/resume/export.
 """
 
-from repro.experiments.adaptive import adaptive_measure, z_score
+from repro.experiments.adaptive import (
+    adaptive_measure,
+    ratio_half_width,
+    z_score,
+)
 from repro.experiments.catalog import build_spec, catalog_names, get_entry
 from repro.experiments.orchestrator import (
     ExperimentRun,
@@ -52,6 +56,7 @@ __all__ = [
     "grid",
     "make_scheme",
     "point_hash",
+    "ratio_half_width",
     "register_scheme",
     "run_experiment",
     "run_point",

@@ -3,17 +3,24 @@
 Fixed trial counts waste compute: a high-SNR point where every message
 decodes in the same number of symbols needs a handful of trials, while a
 point near the waterfall needs hundreds.  This module grows the message
-count in cohorts until the confidence half-width of the mean per-message
-rate reaches a target — the classic sequential-sampling loop — while
+count in cohorts until the confidence half-width of the chosen rate
+estimator reaches a target — the classic sequential-sampling loop — while
 keeping the paper-grade determinism guarantee: every cohort seed derives
 from the point seed, so the stopping trial count is a pure function of
 the spec.
 
-The interval is a normal approximation over per-message rates
-``bits_j / symbols_j`` (a proxy for the pooled ratio estimate the final
-:class:`~repro.simulation.sweep.RateMeasurement` reports; for the message
-counts involved the two agree closely, and the proxy has a well-defined
-per-sample variance).
+Two interval estimators are supported (``AdaptivePolicy.interval``):
+
+- ``"mean"`` (default): a normal approximation over per-message rates
+  ``bits_j / symbols_j`` — a proxy for the pooled ratio estimate with a
+  well-defined per-sample variance.
+- ``"ratio"``: the delta-method variance of the pooled ratio estimator
+  ``R = sum(bits) / sum(symbols)`` itself — the quantity the final
+  :class:`~repro.simulation.sweep.RateMeasurement` reports.  With
+  per-message pairs ``(b_j, s_j)`` and sample (co)variances ``S``,
+  ``Var(R) ~ (S_bb - 2 R S_bs + R^2 S_ss) / (n * mean(s)^2)``.  The two
+  agree closely away from the waterfall; near it the ratio interval is
+  the honest one because failed messages contribute symbols but no bits.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.simulation.sweep import (
     run_messages,
 )
 
-__all__ = ["adaptive_measure", "z_score"]
+__all__ = ["adaptive_measure", "ratio_half_width", "z_score"]
 
 #: Two-sided normal quantiles for the supported confidence levels.
 _Z_TABLE = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -46,11 +53,31 @@ def z_score(confidence: float) -> float:
         ) from None
 
 
-def _half_width(rates: list[float], z: float) -> float:
+def _mean_half_width(outcomes: list[tuple[int, int]], z: float) -> float:
+    rates = [bits / symbols if symbols else 0.0 for bits, symbols in outcomes]
     if len(rates) < 2:
         return math.inf
     std = float(np.std(rates, ddof=1))
     return z * std / math.sqrt(len(rates))
+
+
+def ratio_half_width(outcomes: list[tuple[int, int]], z: float) -> float:
+    """Delta-method half-width of the pooled ``sum(bits)/sum(symbols)``."""
+    if len(outcomes) < 2:
+        return math.inf
+    bits = np.array([b for b, _ in outcomes], dtype=float)
+    symbols = np.array([s for _, s in outcomes], dtype=float)
+    mean_symbols = symbols.mean()
+    if mean_symbols == 0.0:
+        return math.inf
+    ratio = bits.sum() / symbols.sum()
+    cov = np.cov(bits, symbols, ddof=1)
+    var = (cov[0, 0] - 2.0 * ratio * cov[0, 1] + ratio**2 * cov[1, 1]) / (
+        len(outcomes) * mean_symbols**2)
+    return z * math.sqrt(max(var, 0.0))
+
+
+_HALF_WIDTHS = {"mean": _mean_half_width, "ratio": ratio_half_width}
 
 
 def adaptive_measure(
@@ -69,6 +96,7 @@ def adaptive_measure(
     stopped (``"half_width"`` or ``"budget"``).
     """
     z = z_score(policy.confidence)
+    half_width_fn = _HALF_WIDTHS[policy.interval]
     master = np.random.default_rng(seed)
     outcomes: list[tuple[int, int]] = []
     cohorts: list[dict] = []
@@ -82,9 +110,7 @@ def adaptive_measure(
         if n_new > 0:
             outcomes.extend(run_messages(
                 scheme, channel_factory, n_new, cohort_seed, batch_size))
-        rates = [bits / symbols if symbols else 0.0
-                 for bits, symbols in outcomes]
-        half_width = _half_width(rates, z)
+        half_width = half_width_fn(outcomes, z)
         cohorts.append({
             "n_messages": len(outcomes),
             "half_width": half_width if math.isfinite(half_width) else None,

@@ -16,7 +16,7 @@ deliberately tiny specs for CI and tests.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -36,7 +36,11 @@ from repro.experiments.spec import (
     SchemeSpec,
     grid,
 )
-from repro.utils.results import ExperimentResult, render_table
+from repro.utils.results import (
+    ExperimentResult,
+    render_table,
+    write_canonical_json,
+)
 
 __all__ = [
     "CatalogEntry",
@@ -45,7 +49,13 @@ __all__ = [
     "get_entry",
 ]
 
-PROFILES = ("quick", "full")
+#: Profiles a builder implements directly.
+_BUILD_PROFILES = ("quick", "full")
+
+#: Profiles :func:`build_spec` accepts.  ``adaptive`` is derived: the
+#: ``full`` spec with every fixed-count measure point converted to
+#: ratio-interval sequential sampling (see :func:`_adaptive_variant`).
+PROFILES = ("quick", "full", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -57,9 +67,9 @@ class CatalogEntry:
 
 
 def _check_profile(profile: str) -> str:
-    if profile not in PROFILES:
+    if profile not in _BUILD_PROFILES:
         raise ValueError(
-            f"unknown profile {profile!r}; expected one of {PROFILES}")
+            f"unknown profile {profile!r}; expected one of {_BUILD_PROFILES}")
     return profile
 
 
@@ -106,6 +116,25 @@ def _series_report(
             s.add(x, curve[x])
     _finish(result, results_dir)
     return xs, curves
+
+
+def _gap_report(
+    results_dir: str,
+    name: str,
+    title: str,
+    snrs: list[float],
+    labelled_curves,
+) -> None:
+    """Gap-to-capacity chart: one series per ``(label, rate curve)`` pair,
+    with points only where the measured rate is positive (a zero rate has
+    no finite gap)."""
+    result = ExperimentResult(name, title, "snr_db", "gap_to_capacity_db")
+    for label, curve in labelled_curves:
+        s = result.new_series(label)
+        for snr in snrs:
+            if curve[snr] > 0:
+                s.add(snr, gap_to_capacity_db(curve[snr], snr))
+    _finish(result, results_dir)
 
 
 # --------------------------------------------------------------------------
@@ -428,6 +457,736 @@ def _report_fig8_2(run: ExperimentRun, results_dir: str) -> dict:
 
 
 # --------------------------------------------------------------------------
+# fig8_3 — fraction of capacity at small block sizes (Figure 8-3)
+# --------------------------------------------------------------------------
+
+_FIG8_3_SIZES = (1024, 2048, 3072)
+_FIG8_3_CODES = ("spinal", "raptor", "strider", "strider+")
+
+
+def _strider_layers(n_bits: int) -> int:
+    """Layer count whose k_layer stays near the bench profile (~160 bits)."""
+    for g in (12, 8, 6, 4):
+        if n_bits % g == 0:
+            return g
+    return 4
+
+
+def _build_fig8_3(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 25, 10.0 if profile == "quick" else 2.0)
+    n_msgs = _scale(profile, 2, 8)
+    dec = {"B": 256, "max_passes": 40}
+    points: list[PointSpec] = []
+    for n in _FIG8_3_SIZES:
+        g = _strider_layers(n)
+        # the legacy bench's seed bases: n, n+1, n+2, n+3 per code, then
+        # + 31 * grid_index inside each sweep
+        per_code = (
+            ("spinal", SchemeSpec("spinal", {"n_bits": n, "decoder": dec}),
+             n_msgs, n),
+            ("raptor", SchemeSpec("raptor", {"k": n}), n_msgs, n + 1),
+            ("strider",
+             SchemeSpec("strider",
+                        {"n_bits": n, "n_layers": g, "max_passes": 30}),
+             n_msgs, n + 2),
+            ("strider+",
+             SchemeSpec("strider",
+                        {"n_bits": n, "n_layers": g,
+                         "subpasses_per_pass": 4, "max_passes": 30}),
+             _scale(profile, 1, 6), n + 3),
+        )
+        for code, scheme, msgs, base in per_code:
+            points += [
+                PointSpec(
+                    series=f"{code} n={n}", x=snr, seed=base + 31 * i,
+                    scheme=scheme, channel=ChannelSpec("awgn"),
+                    n_messages=msgs, batch_size=msgs,
+                )
+                for i, snr in enumerate(snrs)
+            ]
+    return ExperimentSpec(
+        experiment_id="fig8_3",
+        title="Fraction of capacity at small block sizes (Figure 8-3)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_3(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.rates()
+    snrs = sorted(next(iter(curves.values())))
+    table = {
+        n: {
+            code: float(np.mean([
+                curves[f"{code} n={n}"][snr] / awgn_capacity(snr)
+                for snr in snrs
+            ]))
+            for code in _FIG8_3_CODES
+        }
+        for n in _FIG8_3_SIZES
+    }
+    result = ExperimentResult(
+        "fig8_3_short_messages",
+        "Fraction of capacity at small block sizes (Figure 8-3)",
+        "message_bits", "fraction_of_capacity")
+    for code in _FIG8_3_CODES:
+        s = result.new_series(code)
+        for n in _FIG8_3_SIZES:
+            s.add(n, table[n][code])
+    _finish(result, results_dir)
+    rows = [[n] + [f"{table[n][c]:.2f}" for c in _FIG8_3_CODES]
+            for n in _FIG8_3_SIZES]
+    print(render_table(["bits", *_FIG8_3_CODES], rows))
+    return {"table": table, "codes": _FIG8_3_CODES}
+
+
+# --------------------------------------------------------------------------
+# fig8_6 — compute budget vs performance, choosing k and B (Figure 8-6)
+# --------------------------------------------------------------------------
+
+_FIG8_6_BUDGETS = (16, 64, 256, 1024)  # branch evaluations per bit
+_FIG8_6_KS = (1, 2, 3, 4, 5, 6)
+_FIG8_6_N_BITS = 240  # divisible by every k (lcm(1..6) = 60)
+
+
+def _b_for_budget(budget: int, k: int) -> int:
+    return max(1, round(budget * k / (1 << k)))
+
+
+def _build_fig8_6(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(2, 24, 11.0 if profile == "quick" else 4.0)
+    n_msgs = _scale(profile, 2, 6)
+    points: list[PointSpec] = []
+    for k in _FIG8_6_KS:
+        for budget in _FIG8_6_BUDGETS:
+            scheme = SchemeSpec("spinal", {
+                "n_bits": _FIG8_6_N_BITS,
+                "params": {"k": k},
+                "decoder": {"B": _b_for_budget(budget, k), "max_passes": 40},
+            })
+            points += [
+                PointSpec(
+                    series=f"k={k} budget={budget}", x=snr,
+                    seed=1000 * k + budget + i,
+                    scheme=scheme, channel=ChannelSpec("awgn"),
+                    n_messages=n_msgs, batch_size=n_msgs,
+                )
+                for i, snr in enumerate(snrs)
+            ]
+    return ExperimentSpec(
+        experiment_id="fig8_6",
+        title="Compute budget vs fraction of capacity (Figure 8-6)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_6(run: ExperimentRun, results_dir: str) -> dict:
+    rates = run.rates()
+    snrs = sorted(next(iter(rates.values())))
+    curves = {
+        k: {
+            budget: float(np.mean([
+                rates[f"k={k} budget={budget}"][snr] / awgn_capacity(snr)
+                for snr in snrs
+            ]))
+            for budget in _FIG8_6_BUDGETS
+        }
+        for k in _FIG8_6_KS
+    }
+    result = ExperimentResult(
+        "fig8_6_compute_budget",
+        "Compute budget vs fraction of capacity (Figure 8-6)",
+        "branch_evaluations_per_bit", "fraction_of_capacity")
+    for k in _FIG8_6_KS:
+        s = result.new_series(f"k={k}")
+        for budget in _FIG8_6_BUDGETS:
+            s.add(budget, curves[k][budget])
+    _finish(result, results_dir)
+    return {"curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_7 — beam width vs pruning depth at constant work (Figure 8-7)
+# --------------------------------------------------------------------------
+
+_FIG8_7_CONFIGS = ((512, 1), (64, 2), (8, 3), (1, 4))
+_FIG8_7_N_BITS = 255  # n/k = 85 spine values at k=3
+
+
+def _build_fig8_7(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 30, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 2, 8)
+    points: list[PointSpec] = []
+    for b, d in _FIG8_7_CONFIGS:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": _FIG8_7_N_BITS,
+            "params": {"k": 3},
+            "decoder": {"B": b, "d": d, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=f"B={b}, d={d}", x=snr, seed=b + d + int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_7",
+        title="Bubble depth trade-off (Figure 8-7)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_7(run: ExperimentRun, results_dir: str) -> dict:
+    rates = run.rates()
+    snrs = sorted(next(iter(rates.values())))
+    curves = {(b, d): rates[f"B={b}, d={d}"] for b, d in _FIG8_7_CONFIGS}
+    _gap_report(
+        results_dir, "fig8_7_bubble_depth",
+        "Bubble depth trade-off (Figure 8-7)", snrs,
+        [(f"B={b}, d={d}", curves[(b, d)]) for b, d in _FIG8_7_CONFIGS])
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_8 — output symbol density, choosing c (Figure 8-8)
+# --------------------------------------------------------------------------
+
+_FIG8_8_CS = (1, 2, 3, 4, 5, 6)
+
+
+def _build_fig8_8(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 35, 7.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 2, 8)
+    points: list[PointSpec] = []
+    for c in _FIG8_8_CS:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "params": {"c": c},
+            "decoder": {"B": 256, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=f"c={c}", x=snr, seed=c * 100 + int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_8",
+        title="Output symbol density c (Figure 8-8)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_8(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, labelled = _series_report(
+        run, results_dir, "fig8_8_density",
+        "Output symbol density c (Figure 8-8)",
+        head_series={"shannon bound": awgn_capacity})
+    curves = {c: labelled[f"c={c}"] for c in _FIG8_8_CS}
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_9 — number of tail symbols (Figure 8-9)
+# --------------------------------------------------------------------------
+
+_FIG8_9_TAILS = (1, 2, 3, 4, 5)
+
+
+def _build_fig8_9(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 25, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 3, 10)
+    points: list[PointSpec] = []
+    for tail in _FIG8_9_TAILS:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "params": {"tail_symbols": tail},
+            "decoder": {"B": 256, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=f"{tail} tail symbols", x=snr,
+                seed=tail * 19 + int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_9",
+        title="Tail symbol count (Figure 8-9)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_9(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, labelled = _series_report(
+        run, results_dir, "fig8_9_tail_symbols",
+        "Tail symbol count (Figure 8-9)")
+    curves = {t: labelled[f"{t} tail symbols"] for t in _FIG8_9_TAILS}
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_10 — puncturing schedules (Figure 8-10)
+# --------------------------------------------------------------------------
+
+#: The legacy bench seeded each schedule's sweep with ``hash(sched) % 1000``
+#: — Python string hashing, which is randomized per interpreter run, so the
+#: bench never reproduced its own numbers.  The spec freezes the values the
+#: formula yields under ``PYTHONHASHSEED=0`` (the golden-capture convention)
+#: as plain constants; the sweep is now reproducible everywhere.
+_FIG8_10_SEEDS = {"none": 972, "2-way": 126, "4-way": 699, "8-way": 333}
+_FIG8_10_SCHEDULES = ("none", "2-way", "4-way", "8-way")
+
+
+def _build_fig8_10(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 30, 5.0 if profile == "quick" else 1.0)
+    n_msgs = _scale(profile, 3, 10)
+    points: list[PointSpec] = []
+    for sched in _FIG8_10_SCHEDULES:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": 1024,
+            "params": {"puncturing": sched},
+            "decoder": {"B": 256, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=f"{sched} puncturing", x=snr,
+                seed=_FIG8_10_SEEDS[sched] + int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_10",
+        title="Puncturing schedules (Figure 8-10)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_10(run: ExperimentRun, results_dir: str) -> dict:
+    rates = run.rates()
+    snrs = sorted(next(iter(rates.values())))
+    curves = {s: rates[f"{s} puncturing"] for s in _FIG8_10_SCHEDULES}
+    _gap_report(
+        results_dir, "fig8_10_puncturing",
+        "Puncturing schedules (Figure 8-10)", snrs,
+        [(f"{s} puncturing", curves[s]) for s in _FIG8_10_SCHEDULES])
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# fig8_11 — CDF of symbols needed to decode, per SNR (Figure 8-11)
+# --------------------------------------------------------------------------
+
+_FIG8_11_SNRS = (6, 10, 14, 18, 22, 26)
+
+
+def _build_fig8_11(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    points = tuple(
+        PointSpec(
+            series=f"SNR={snr}dB", x=float(snr), seed=snr,
+            kind="symbol_cdf", channel=ChannelSpec("awgn"),
+            n_messages=_scale(profile, 12, 60),
+            options={
+                "n_bits": 256,
+                "decoder": {"B": 256, "max_passes": 48},
+                "probe_growth": 1.0,
+            },
+        )
+        for snr in _FIG8_11_SNRS
+    )
+    return ExperimentSpec(
+        experiment_id="fig8_11",
+        title="CDF of symbols to decode (Figure 8-11)",
+        profile=profile,
+        points=points,
+    )
+
+
+def _report_fig8_11(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.curves()
+    counts = {
+        snr: np.array(curves[f"SNR={snr}dB"][float(snr)]["counts"])
+        for snr in _FIG8_11_SNRS
+    }
+    result = ExperimentResult(
+        "fig8_11_symbol_cdf", "CDF of symbols to decode (Figure 8-11)",
+        "n_symbols", "cdf")
+    for snr in _FIG8_11_SNRS:
+        s = result.new_series(f"SNR={snr}dB")
+        data = np.sort(counts[snr])
+        for i, x in enumerate(data):
+            s.add(float(x), (i + 1) / data.size)
+    _finish(result, results_dir)
+    medians = {snr: float(np.median(counts[snr])) for snr in _FIG8_11_SNRS}
+    print("medians:", medians)
+    return {"counts": counts, "medians": medians}
+
+
+# --------------------------------------------------------------------------
+# fig8_12 — effect of code block length (Figure 8-12)
+# --------------------------------------------------------------------------
+
+_FIG8_12_LENGTHS = (64, 128, 256, 512, 1024, 2048)
+
+
+def _fig8_12_lengths(profile: str) -> tuple[int, ...]:
+    # the legacy bench drops n=2048 in the quick profile
+    return _FIG8_12_LENGTHS if profile != "quick" else _FIG8_12_LENGTHS[:5]
+
+
+def _build_fig8_12(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 25, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 3, 10)
+    points: list[PointSpec] = []
+    for n in _fig8_12_lengths(profile):
+        scheme = SchemeSpec("spinal", {
+            "n_bits": n, "decoder": {"B": 256, "max_passes": 40}})
+        points += [
+            PointSpec(
+                series=f"n={n}", x=snr, seed=n + int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="fig8_12",
+        title="Code block length (Figure 8-12)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_fig8_12(run: ExperimentRun, results_dir: str) -> dict:
+    rates = run.rates()
+    snrs = sorted(next(iter(rates.values())))
+    lengths = _fig8_12_lengths(run.spec.profile)
+    curves = {n: rates[f"n={n}"] for n in lengths}
+    _gap_report(
+        results_dir, "fig8_12_block_length",
+        "Code block length (Figure 8-12)", snrs,
+        [(f"n={n}", curves[n]) for n in lengths])
+    avg_gap = {}
+    for n in sorted(curves):
+        gaps = [gap_to_capacity_db(curves[n][snr], snr)
+                for snr in snrs if curves[n][snr] > 0]
+        avg_gap[n] = sum(gaps) / len(gaps)
+    print("average gap by n:", {n: round(g, 2) for n, g in avg_gap.items()})
+    return {"snrs": snrs, "curves": curves, "avg_gap": avg_gap}
+
+
+# --------------------------------------------------------------------------
+# figB_2 — the hardware parameter set in simulation (Figure B-2)
+# --------------------------------------------------------------------------
+
+_FIGB_2_HW_SERIES = "simulation, hardware parameters (B=4)"
+_FIGB_2_SW_SERIES = "simulation, B=256 reference"
+
+
+def _build_figB_2(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 14, 2.0 if profile == "quick" else 1.0)
+    hw_params = {"k": 4, "c": 7}  # SpinalParams.hardware_profile()
+    hw_msgs = _scale(profile, 5, 25)
+    sw_msgs = _scale(profile, 3, 10)
+    hw_scheme = SchemeSpec("spinal", {
+        "n_bits": 192, "params": hw_params,
+        "decoder": {"B": 4, "d": 1, "max_passes": 48}})
+    sw_scheme = SchemeSpec("spinal", {
+        "n_bits": 192, "params": hw_params,
+        "decoder": {"B": 256, "d": 1, "max_passes": 48}})
+    points: list[PointSpec] = [
+        PointSpec(
+            series=_FIGB_2_HW_SERIES, x=snr, seed=300 + i,
+            scheme=hw_scheme, channel=ChannelSpec("awgn"),
+            n_messages=hw_msgs, batch_size=hw_msgs,
+        )
+        for i, snr in enumerate(snrs)
+    ]
+    points += [
+        PointSpec(
+            series=_FIGB_2_SW_SERIES, x=snr, seed=400 + i,
+            scheme=sw_scheme, channel=ChannelSpec("awgn"),
+            n_messages=sw_msgs, batch_size=sw_msgs,
+        )
+        for i, snr in enumerate(snrs)
+    ]
+    return ExperimentSpec(
+        experiment_id="figB_2",
+        title="Hardware profile simulation (Figure B-2)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_figB_2(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, curves = _series_report(
+        run, results_dir, "figB_2_hardware",
+        "Hardware profile simulation (Figure B-2)")
+    return {"snrs": snrs,
+            "hw": curves[_FIGB_2_HW_SERIES],
+            "sw": curves[_FIGB_2_SW_SERIES]}
+
+
+# --------------------------------------------------------------------------
+# table8_1 — OFDM PAPR for sparse vs dense constellations (Table 8.1)
+# --------------------------------------------------------------------------
+
+_TABLE8_1_ROWS = (
+    ("QAM-4", "qam-4"),
+    ("QAM-64", "qam-64"),
+    ("QAM-2^20", "qam-2^20"),
+    ("Trunc. Gaussian, beta=2", "gaussian"),
+)
+
+
+def _build_table8_1(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    n_symbols = _scale(profile, 20_000, 400_000)
+    points = tuple(
+        PointSpec(
+            series=label, x=float(i), seed=8, kind="papr",
+            options={"constellation": name, "n_ofdm_symbols": n_symbols},
+        )
+        for i, (label, name) in enumerate(_TABLE8_1_ROWS)
+    )
+    return ExperimentSpec(
+        experiment_id="table8_1",
+        title="OFDM PAPR (Table 8.1)",
+        profile=profile,
+        points=points,
+    )
+
+
+def _report_table8_1(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.curves()
+    table = {
+        label: (curves[label][float(i)]["mean_papr_db"],
+                curves[label][float(i)]["p9999_papr_db"])
+        for i, (label, _) in enumerate(_TABLE8_1_ROWS)
+    }
+    result = ExperimentResult("table8_1_papr", "OFDM PAPR (Table 8.1)",
+                              "row", "papr_db")
+    mean_series = result.new_series("mean")
+    tail_series = result.new_series("p99.99")
+    rows = []
+    for i, (label, _) in enumerate(_TABLE8_1_ROWS):
+        mean, tail = table[label]
+        mean_series.add(i, mean)
+        tail_series.add(i, tail)
+        rows.append([label, f"{mean:.2f} dB", f"{tail:.2f} dB"])
+    _finish(result, results_dir)
+    print(render_table(["Constellation", "Mean PAPR", "99.99% below"], rows))
+    return {"table": table}
+
+
+# --------------------------------------------------------------------------
+# ablations — constellation map (§3.3, §4.6) and hash function (§7.1)
+# --------------------------------------------------------------------------
+
+_ABLATION_MAPS = ("uniform", "gaussian")
+_ABLATION_HASHES = ("one_at_a_time", "lookup3", "salsa20")
+
+
+def _build_ablation_constellation(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(0, 25, 5.0 if profile == "quick" else 1.0)
+    n_msgs = _scale(profile, 3, 10)
+    points: list[PointSpec] = []
+    for name in _ABLATION_MAPS:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "params": {"mapping_name": name},
+            "decoder": {"B": 256, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=name, x=snr, seed=int(snr) + 5,
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="ablation_constellation",
+        title="Constellation map ablation (§3.3, §4.6)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_ablation_constellation(
+        run: ExperimentRun, results_dir: str) -> dict:
+    from repro.theory import achievable_rate_bound
+    curves = run.rates()
+    snrs = sorted(next(iter(curves.values())))
+    result = ExperimentResult(
+        "ablation_constellation", "Constellation map ablation (§3.3, §4.6)",
+        "snr_db", "rate_bits_per_symbol")
+    for name in _ABLATION_MAPS:
+        s = result.new_series(name)
+        for snr in snrs:
+            s.add(snr, curves[name][snr])
+    bound = result.new_series("theorem-1 bound (c=6)")
+    for snr in snrs:
+        bound.add(snr, achievable_rate_bound(6, snr))
+    _finish(result, results_dir)
+    return {"snrs": snrs, "curves": curves}
+
+
+def _build_ablation_hash(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 25, 10.0 if profile == "quick" else 5.0)
+    n_msgs = _scale(profile, 3, 10)
+    points: list[PointSpec] = []
+    for name in _ABLATION_HASHES:
+        scheme = SchemeSpec("spinal", {
+            "n_bits": 256,
+            "params": {"hash_name": name},
+            "decoder": {"B": 128, "max_passes": 40},
+        })
+        points += [
+            PointSpec(
+                series=name, x=snr, seed=int(snr),
+                scheme=scheme, channel=ChannelSpec("awgn"),
+                n_messages=n_msgs, batch_size=n_msgs,
+            )
+            for snr in snrs
+        ]
+    return ExperimentSpec(
+        experiment_id="ablation_hash",
+        title="Hash function ablation (§7.1)",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _report_ablation_hash(run: ExperimentRun, results_dir: str) -> dict:
+    snrs, curves = _series_report(
+        run, results_dir, "ablation_hash", "Hash function ablation (§7.1)")
+    return {"snrs": snrs, "curves": curves}
+
+
+# --------------------------------------------------------------------------
+# link_goodput — oracle code rate vs framed ARQ goodput (§5, §6, §8.4)
+# --------------------------------------------------------------------------
+
+_LINK_FEEDBACK_DELAY = 256  # symbol times; a LAN-ish RTT
+_LINK_REF_SERIES = "oracle session (paper metric)"
+_LINK_SERIES = (
+    ("oracle link (shared seeds)", "oracle", {"framing": False}),
+    ("framed link", "framed", {"max_block_bits": 512}),
+    (f"framed + {_LINK_FEEDBACK_DELAY}-symbol feedback", "delayed",
+     {"max_block_bits": 512, "feedback_delay": _LINK_FEEDBACK_DELAY}),
+)
+
+
+def _build_link_goodput(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    snrs = grid(5, 25, 5.0 if profile == "quick" else 1.0)
+    n_packets = _scale(profile, 3, 8)
+    payload_bytes = _scale(profile, 16, 64)
+    dec = {"B": 64, "max_passes": 32}
+    # paper-standard reference curve (independent seeds; plotted only)
+    points: list[PointSpec] = [
+        PointSpec(
+            series=_LINK_REF_SERIES, x=snr, seed=300 + i,
+            scheme=SchemeSpec("spinal", {
+                "n_bits": payload_bytes * 8, "decoder": dec}),
+            channel=ChannelSpec("awgn"),
+            n_messages=n_packets, batch_size=n_packets,
+        )
+        for i, snr in enumerate(snrs)
+    ]
+    # the three link sweeps share per-point seeds, so the oracle-mode jobs
+    # see the same payload bytes and channel RNG stream as the framed jobs
+    # — the comparison isolates protocol overhead, not sampling noise
+    for series, tag, config in _LINK_SERIES:
+        points += [
+            PointSpec(
+                series=series, x=snr, seed=500 + 17 * i, kind="link",
+                channel=ChannelSpec("awgn"),
+                options={
+                    "job_id": f"{tag}_snr{snr:g}",
+                    "n_packets": n_packets,
+                    "payload_bytes": payload_bytes,
+                    "decoder": dec,
+                    "config": config,
+                },
+            )
+            for i, snr in enumerate(snrs)
+        ]
+    return ExperimentSpec(
+        experiment_id="link_goodput",
+        title="Oracle rate vs framed link goodput",
+        profile=profile,
+        points=tuple(points),
+    )
+
+
+def _link_records(curve: dict[float, dict]) -> list[dict]:
+    """Store records in sweep order, minus the orchestrator's series/x keys
+    (the legacy JSON artifact holds raw ``run_job`` dicts)."""
+    return [
+        {k: v for k, v in curve[snr].items() if k not in ("series", "x")}
+        for snr in sorted(curve)
+    ]
+
+
+def _report_link_goodput(run: ExperimentRun, results_dir: str) -> dict:
+    curves = run.curves()
+    reference = {snr: rec["rate"]
+                 for snr, rec in curves[_LINK_REF_SERIES].items()}
+    snrs = sorted(reference)
+    oracle, framed, delayed = (
+        _link_records(curves[series]) for series, _, _ in _LINK_SERIES)
+    result = ExperimentResult(
+        "link_goodput", "Oracle rate vs framed link goodput",
+        "snr_db", "bits_per_symbol")
+    s_ref = result.new_series(_LINK_REF_SERIES)
+    series = [result.new_series(label) for label, _, _ in _LINK_SERIES]
+    for i, snr in enumerate(snrs):
+        s_ref.add(snr, reference[snr])
+        for s, batch in zip(series, (oracle, framed, delayed)):
+            s.add(snr, batch[i]["goodput"])
+    _finish(result, results_dir)
+    path = write_canonical_json(
+        os.path.join(results_dir, "BENCH_link_goodput.json"), {
+            "experiment": "link_goodput",
+            "feedback_delay": _LINK_FEEDBACK_DELAY,
+            "snrs_db": [float(s) for s in snrs],
+            "oracle_session_rate": {f"{s:g}": reference[s] for s in snrs},
+            "oracle": oracle,
+            "framed": framed,
+            "framed_delayed": delayed,
+        })
+    print(f"[json] {path}")
+    return {"snrs": snrs, "reference": reference,
+            "oracle": oracle, "framed": framed, "delayed": delayed}
+
+
+# --------------------------------------------------------------------------
 # smoke — deliberately tiny specs for CI and the test suite
 # --------------------------------------------------------------------------
 
@@ -495,11 +1254,49 @@ def _build_smoke_fading(profile: str) -> ExperimentSpec:
     )
 
 
+def _build_smoke_link(profile: str) -> ExperimentSpec:
+    _check_profile(profile)
+    points = tuple(
+        PointSpec(
+            series="link tiny", x=snr, seed=9300 + i, kind="link",
+            channel=ChannelSpec("awgn"),
+            options={
+                "job_id": f"smoke_snr{snr:g}",
+                "n_packets": 1,
+                "payload_bytes": 4,
+                "decoder": {"B": 4, "max_passes": 8},
+                "config": {"max_block_bits": 64},
+            },
+        )
+        for i, snr in enumerate((8.0, 18.0))
+    )
+    return ExperimentSpec(
+        experiment_id="smoke_link",
+        title="Tiny packet-level link spec (CI smoke)",
+        profile=profile,
+        points=points,
+    )
+
+
 def _report_generic(run: ExperimentRun, results_dir: str) -> dict:
     """Plain rate-vs-x dump for experiments without a paper figure."""
     _, curves = _series_report(
         run, results_dir, run.spec.experiment_id, run.spec.title,
         x_label="x", y_label="rate")
+    return {"curves": curves}
+
+
+def _report_link_generic(run: ExperimentRun, results_dir: str) -> dict:
+    """Goodput-vs-x dump for link specs (their records have no ``rate``)."""
+    curves = run.curves()
+    result = ExperimentResult(
+        run.spec.experiment_id, run.spec.title,
+        "snr_db", "goodput_bits_per_symbol")
+    for label, curve in curves.items():
+        s = result.new_series(label)
+        for x in sorted(curve):
+            s.add(x, curve[x]["goodput"])
+    _finish(result, results_dir)
     return {"curves": curves}
 
 
@@ -532,6 +1329,69 @@ CATALOG: dict[str, CatalogEntry] = {
             "Strider+ at tau=1/10/100 (Figure 8-5)",
             _build_fig8_5, _report_fig8_5),
         CatalogEntry(
+            "fig8_3",
+            "fraction of capacity at 1024/2048/3072-bit blocks for all "
+            "schemes (Figure 8-3)",
+            _build_fig8_3, _report_fig8_3),
+        CatalogEntry(
+            "fig8_6",
+            "compute budget (branch evaluations per bit) vs fraction of "
+            "capacity, one curve per k (Figure 8-6)",
+            _build_fig8_6, _report_fig8_6),
+        CatalogEntry(
+            "fig8_7",
+            "beam width vs pruning depth at constant work: (B, d) in "
+            "{(512,1)..(1,4)} (Figure 8-7)",
+            _build_fig8_7, _report_fig8_7),
+        CatalogEntry(
+            "fig8_8",
+            "output symbol density c=1..6 vs the Shannon bound "
+            "(Figure 8-8)",
+            _build_fig8_8, _report_fig8_8),
+        CatalogEntry(
+            "fig8_9",
+            "tail symbol count 1..5 (Figure 8-9)",
+            _build_fig8_9, _report_fig8_9),
+        CatalogEntry(
+            "fig8_10",
+            "puncturing schedules none/2/4/8-way as gap to capacity "
+            "(Figure 8-10)",
+            _build_fig8_10, _report_fig8_10),
+        CatalogEntry(
+            "fig8_11",
+            "per-message symbol-count CDFs at six SNRs (Figure 8-11; "
+            "distributional symbol_cdf points)",
+            _build_fig8_11, _report_fig8_11),
+        CatalogEntry(
+            "fig8_12",
+            "code block length n=64..2048 as gap to capacity "
+            "(Figure 8-12)",
+            _build_fig8_12, _report_fig8_12),
+        CatalogEntry(
+            "figB_2",
+            "the Airblue FPGA parameter set (B=4) vs the B=256 reference "
+            "in simulation (Figure B-2)",
+            _build_figB_2, _report_figB_2),
+        CatalogEntry(
+            "table8_1",
+            "OFDM PAPR, mean and p99.99, for sparse vs dense "
+            "constellations (Table 8.1; papr points)",
+            _build_table8_1, _report_table8_1),
+        CatalogEntry(
+            "ablation_constellation",
+            "uniform vs truncated-Gaussian constellation map plus the "
+            "Theorem 1 bound (§3.3, §4.6)",
+            _build_ablation_constellation, _report_ablation_constellation),
+        CatalogEntry(
+            "ablation_hash",
+            "one-at-a-time vs lookup3 vs Salsa20 spine hashes (§7.1)",
+            _build_ablation_hash, _report_ablation_hash),
+        CatalogEntry(
+            "link_goodput",
+            "oracle code rate vs CRC-framed ARQ goodput with and without "
+            "feedback delay (§5, §6, §8.4; link points)",
+            _build_link_goodput, _report_link_goodput),
+        CatalogEntry(
             "smoke_fading",
             "tiny Rayleigh spec exercising the batched fading/CSI decode "
             "path end-to-end",
@@ -544,6 +1404,11 @@ CATALOG: dict[str, CatalogEntry] = {
             "smoke_adaptive",
             "tiny adaptive-sampling spec: one point, sequential stopping",
             _build_smoke_adaptive, _report_generic),
+        CatalogEntry(
+            "smoke_link",
+            "tiny packet-level link spec: two ARQ points through the "
+            "link point kind",
+            _build_smoke_link, _report_link_generic),
     )
 }
 
@@ -562,5 +1427,35 @@ def get_entry(name: str) -> CatalogEntry:
         ) from None
 
 
+def _adaptive_variant(spec: ExperimentSpec) -> ExperimentSpec:
+    """The ``adaptive`` profile: a full-density spec whose fixed-count
+    measure points instead sample sequentially to a ratio-estimator
+    (delta-method) half-width on the pooled bits/symbols rate.
+
+    Non-measure kinds (link, symbol_cdf, papr, ldpc_envelope) keep their
+    fixed budgets — their payloads are not pooled rates.  The profile
+    string participates in the spec hash, so adaptive runs get their own
+    store files and never disturb the byte-stable quick/full caches.
+    """
+    points = []
+    for p in spec.points:
+        if p.kind == "measure" and p.adaptive is None and p.n_messages >= 2:
+            initial = max(4, p.n_messages)
+            policy = AdaptivePolicy(
+                target_half_width=0.1,
+                confidence=0.95,
+                initial_messages=initial,
+                growth=2.0,
+                max_messages=max(8 * initial, 64),
+                interval="ratio",
+            )
+            points.append(replace(p, adaptive=policy))
+        else:
+            points.append(p)
+    return replace(spec, profile="adaptive", points=tuple(points))
+
+
 def build_spec(name: str, profile: str = "quick") -> ExperimentSpec:
+    if profile == "adaptive":
+        return _adaptive_variant(get_entry(name).build("full"))
     return get_entry(name).build(profile)

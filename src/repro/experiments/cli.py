@@ -15,7 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.catalog import PROFILES, catalog_names, get_entry
+from repro.experiments.catalog import (
+    PROFILES,
+    build_spec,
+    catalog_names,
+    get_entry,
+)
 from repro.experiments.orchestrator import run_experiment
 from repro.experiments.spec import point_hash, spec_hash
 from repro.experiments.store import ResultStore
@@ -80,7 +85,7 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     entry = get_entry(args.name)
-    spec = entry.build(args.profile)
+    spec = build_spec(args.name, args.profile)
     store = ResultStore(args.store)
     if args.fresh and store.discard(spec):
         print(f"[store] discarded {store.path_for(spec)}")
@@ -98,8 +103,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    entry = get_entry(args.name)
-    spec = entry.build(args.profile)
+    spec = build_spec(args.name, args.profile)
     store = ResultStore(args.store)
     known = store.load(spec)
     print(f"{spec.experiment_id}: {spec.title}")
@@ -117,7 +121,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     entry = get_entry(args.name)
-    spec = entry.build(args.profile)
+    spec = build_spec(args.name, args.profile)
     store = ResultStore(args.store)
     known = store.load(spec)
     missing = [p for p in spec.points if point_hash(p) not in known]

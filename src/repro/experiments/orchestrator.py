@@ -66,9 +66,79 @@ def _run_ldpc_envelope(point: PointSpec) -> dict:
     return {"rate": float(rate), "best_operating_point": best}
 
 
+def _run_link(point: PointSpec) -> dict:
+    """One packet-level ARQ flow (a :class:`LinkJob`) as a point job.
+
+    The job is rebuilt from the point's JSON-safe fields and executed by
+    the link runner itself, so a ``link`` point equals a direct
+    ``repro.link.runner`` invocation at the same seed — byte for byte.
+    """
+    from repro.link.runner import job_from_options, run_job
+    job = job_from_options(
+        job_id=str(point.options.get("job_id", point.series)),
+        seed=point.seed,
+        snr_db=point.x,
+        channel=point.channel.kind,
+        channel_options=point.channel.options,
+        options=point.options,
+    )
+    return run_job(job)
+
+
+def _run_symbol_cdf(point: PointSpec) -> dict:
+    """Per-message symbol counts of successful decodes (Figure 8-11).
+
+    Unlike ``measure``, the payload is distributional: the sorted-later
+    CDF needs every successful message's symbol count, not the pooled
+    totals.  The seeding discipline mirrors the legacy bench exactly: one
+    master RNG per point, one child RNG per message drawing first the
+    message then the channel noise.
+    """
+    from repro.core.params import DecoderParams, SpinalParams
+    from repro.simulation.engine import SpinalSession
+    from repro.utils.bitops import random_message
+    import numpy as np
+    opts = point.options
+    params = SpinalParams(**dict(opts.get("params") or {}))
+    dec = DecoderParams(**dict(opts.get("decoder") or {}))
+    n_bits = int(opts["n_bits"])
+    probe_growth = float(opts.get("probe_growth", 1.0))
+    factory = channel_factory(
+        point.channel.kind, point.x, point.channel.options)
+    master = np.random.default_rng(point.seed)
+    counts: list[int] = []
+    for _ in range(point.n_messages):
+        rng = np.random.default_rng(master.integers(0, 2**63))
+        message = random_message(n_bits, rng)
+        session = SpinalSession(params, dec, message, factory(rng),
+                                probe_growth=probe_growth)
+        result = session.run()
+        if result.success:
+            counts.append(int(result.n_symbols))
+    return {
+        "counts": counts,
+        "n_messages": int(point.n_messages),
+        "n_success": len(counts),
+    }
+
+
+def _run_papr(point: PointSpec) -> dict:
+    """One OFDM PAPR table row (Table 8.1): mean and p99.99 in dB."""
+    from repro.ofdm import papr_experiment
+    mean_db, tail_db = papr_experiment(
+        str(point.options["constellation"]),
+        n_ofdm_symbols=int(point.options.get("n_ofdm_symbols", 20_000)),
+        seed=point.seed,
+    )
+    return {"mean_papr_db": float(mean_db), "p9999_papr_db": float(tail_db)}
+
+
 _RUNNERS: dict[str, Callable[[PointSpec], dict]] = {
     "measure": _run_measure,
     "ldpc_envelope": _run_ldpc_envelope,
+    "link": _run_link,
+    "symbol_cdf": _run_symbol_cdf,
+    "papr": _run_papr,
 }
 
 

@@ -32,6 +32,7 @@ from repro.simulation.sweep import RatelessScheme, SpinalScheme
 from repro.utils.results import canonical_json
 
 __all__ = [
+    "ADAPTIVE_INTERVALS",
     "AdaptivePolicy",
     "ChannelSpec",
     "ExperimentSpec",
@@ -155,15 +156,29 @@ class ChannelSpec:
         return cls(kind=record["kind"], options=dict(record.get("options", {})))
 
 
+#: Interval estimators the adaptive sampler supports.  ``"mean"`` targets
+#: the mean per-message rate (the original behaviour); ``"ratio"`` targets
+#: the pooled bits/symbols rate the final ``RateMeasurement`` actually
+#: reports, via the delta-method variance of the ratio estimator.
+ADAPTIVE_INTERVALS = ("mean", "ratio")
+
+
 @dataclass(frozen=True)
 class AdaptivePolicy:
     """Sequential-sampling stopping rule for one operating point.
 
     Messages are run in growing cohorts until the normal-approximation
-    confidence half-width of the mean per-message rate falls to
+    confidence half-width of the chosen rate estimator falls to
     ``target_half_width`` (or ``max_messages`` is reached).  All cohort
     seeds derive from the point seed, so the trial count at which sampling
     stops is deterministic.
+
+    ``interval`` picks the estimator the half-width is computed for:
+    ``"mean"`` (default) is the mean of per-message ``bits/symbols``
+    rates; ``"ratio"`` is the pooled ``sum(bits)/sum(symbols)`` rate via
+    the delta method.  The default is unchanged so existing spec hashes
+    and stopping points stay stable (``as_dict`` omits the field at its
+    default for the same reason).
     """
 
     target_half_width: float
@@ -171,6 +186,7 @@ class AdaptivePolicy:
     initial_messages: int = 8
     growth: float = 2.0
     max_messages: int = 512
+    interval: str = "mean"
 
     def __post_init__(self):
         if self.target_half_width <= 0:
@@ -181,15 +197,24 @@ class AdaptivePolicy:
             raise ValueError("growth must be > 1")
         if self.max_messages < self.initial_messages:
             raise ValueError("max_messages must be >= initial_messages")
+        if self.interval not in ADAPTIVE_INTERVALS:
+            raise ValueError(
+                f"unknown interval {self.interval!r}; "
+                f"expected one of {ADAPTIVE_INTERVALS}")
 
     def as_dict(self) -> dict:
-        return {
+        record = {
             "target_half_width": self.target_half_width,
             "confidence": self.confidence,
             "initial_messages": self.initial_messages,
             "growth": self.growth,
             "max_messages": self.max_messages,
         }
+        if self.interval != "mean":
+            # keep pre-existing content hashes stable: specs written before
+            # the knob existed hash a 5-field policy
+            record["interval"] = self.interval
+        return record
 
     @classmethod
     def from_dict(cls, record: Mapping) -> "AdaptivePolicy":
@@ -200,13 +225,27 @@ class AdaptivePolicy:
 class PointSpec:
     """One fully-specified operating point (the orchestrator's job unit).
 
-    ``kind`` selects the job runner: ``"measure"`` feeds a scheme through
-    :func:`repro.simulation.sweep.measure_scheme`; ``"ldpc_envelope"``
-    evaluates the fixed-rate LDPC best envelope (which reports a rate
-    directly rather than per-message outcomes).  ``x`` is the channel
-    family's operating-point scalar — SNR in dB, or flip probability for a
-    BSC.  ``options`` carries kind-specific extras (for the envelope:
-    ``n_blocks``, ``iterations``).
+    ``kind`` selects the job runner:
+
+    - ``"measure"`` feeds a scheme through
+      :func:`repro.simulation.sweep.measure_scheme` (pooled
+      ``RateMeasurement`` record);
+    - ``"ldpc_envelope"`` evaluates the fixed-rate LDPC best envelope
+      (which reports a rate directly rather than per-message outcomes);
+    - ``"link"`` runs one :class:`repro.link.runner.LinkJob` — a
+      packet-level ARQ flow with framing/feedback cost — through the same
+      deterministic worker pool (``options``: ``job_id``, ``n_packets``,
+      ``payload_bytes``, ``params``, ``decoder``, ``config``);
+    - ``"symbol_cdf"`` records the distributional payload behind Figure
+      8-11: per-message symbol counts of successful decodes (``options``:
+      ``n_bits``, ``params``, ``decoder``, ``probe_growth``);
+    - ``"papr"`` measures an OFDM PAPR table row (``options``:
+      ``constellation``, ``n_ofdm_symbols``).
+
+    ``x`` is the channel family's operating-point scalar — SNR in dB, or
+    flip probability for a BSC (for ``"papr"`` it is just the table row
+    index).  ``options`` carries the kind-specific extras listed above
+    (for the envelope: ``n_blocks``, ``iterations``).
     """
 
     series: str
@@ -225,6 +264,8 @@ class PointSpec:
         if self.kind == "measure" and (
                 self.scheme is None or self.channel is None):
             raise ValueError("measure points need a scheme and a channel")
+        if self.kind in ("link", "symbol_cdf") and self.channel is None:
+            raise ValueError(f"{self.kind} points need a channel")
 
     def as_dict(self) -> dict:
         return {

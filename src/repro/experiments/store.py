@@ -10,17 +10,30 @@ jobs, and an interrupted sweep resumes from whatever points were flushed
 Files are written in the repo's canonical JSON form (sorted keys), so the
 store contents for a deterministic spec are byte-identical no matter how
 many workers computed them or in what order points finished.
+
+A store file is a cache, never a source of truth, so :meth:`ResultStore.
+load` refuses to let a bad file wedge a sweep: a file that does not parse
+(a run killed mid-write on a filesystem where the rename is not atomic),
+or whose embedded ``spec_hash`` disagrees with the spec being loaded (a
+hand-copied or stale file under the wrong name), is quarantined — renamed
+to ``<spec-hash>.json.bad`` with a warning — and the sweep resumes from
+empty, recomputing at worst what the bad file claimed to hold.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 
 from repro.experiments.spec import ExperimentSpec, spec_hash
 from repro.utils.results import write_canonical_json
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "StoreQuarantineWarning"]
+
+
+class StoreQuarantineWarning(UserWarning):
+    """A store file was unusable and has been moved aside (``.bad``)."""
 
 
 class ResultStore:
@@ -32,13 +45,43 @@ class ResultStore:
     def path_for(self, spec: ExperimentSpec) -> str:
         return os.path.join(self.root, f"{spec_hash(spec)}.json")
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        bad_path = f"{path}.bad"
+        os.replace(path, bad_path)
+        warnings.warn(
+            f"store file {path} {reason}; quarantined to {bad_path} and "
+            "resuming from empty (completed points will be recomputed)",
+            StoreQuarantineWarning,
+            stacklevel=3,
+        )
+
     def load(self, spec: ExperimentSpec) -> dict[str, dict]:
-        """Completed point records for this spec (empty if none yet)."""
+        """Completed point records for this spec (empty if none yet).
+
+        Never raises on a bad file: corrupt JSON and ``spec_hash``
+        mismatches are quarantined (see module docstring) so ``run`` /
+        ``resume`` always make progress.
+        """
         path = self.path_for(spec)
         if not os.path.exists(path):
             return {}
-        with open(path) as f:
-            payload = json.load(f)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "is corrupt (truncated or not JSON)")
+            return {}
+        if not isinstance(payload, dict):
+            self._quarantine(path, "does not hold a store record")
+            return {}
+        embedded = payload.get("spec_hash")
+        if embedded != spec_hash(spec):
+            self._quarantine(
+                path,
+                f"embeds spec_hash {embedded!r} but the requested spec "
+                f"hashes to {spec_hash(spec)!r} (hand-copied or stale file)",
+            )
+            return {}
         return dict(payload.get("points", {}))
 
     def save(self, spec: ExperimentSpec, points: dict[str, dict]) -> str:

@@ -28,7 +28,13 @@ from repro.link.protocol import (
     PacketTransmitter,
     payload_for,
 )
-from repro.link.runner import LinkJob, results_json, run_batch, run_job
+from repro.link.runner import (
+    LinkJob,
+    job_from_options,
+    results_json,
+    run_batch,
+    run_job,
+)
 from repro.link.scheduler import Flow, LinkScheduler
 from repro.link.stats import FlowStats, LinkReport
 
@@ -43,6 +49,7 @@ __all__ = [
     "FlowStats",
     "LinkReport",
     "LinkJob",
+    "job_from_options",
     "run_job",
     "run_batch",
     "results_json",

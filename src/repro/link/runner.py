@@ -23,14 +23,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.channels.base import Channel
-from repro.channels.registry import make_channel
+from repro.channels.registry import channel_family, make_channel
 from repro.core.params import DecoderParams, SpinalParams
 from repro.link.protocol import LinkConfig, LinkSession, payload_for
 from repro.link.stats import FlowStats
 from repro.utils.parallel import map_jobs
 from repro.utils.results import canonical_json
 
-__all__ = ["LinkJob", "run_job", "run_batch", "results_json"]
+__all__ = ["LinkJob", "job_from_options", "run_job", "run_batch",
+           "results_json"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,60 @@ class LinkJob:
         return make_channel(
             self.channel, self.snr_db, rng,
             {"coherence_time": self.coherence_time}, ignore_unknown=True)
+
+
+def job_from_options(
+    job_id: str,
+    seed: int,
+    snr_db: float,
+    channel: str = "awgn",
+    channel_options: dict | None = None,
+    options: dict | None = None,
+) -> LinkJob:
+    """Rebuild a :class:`LinkJob` from JSON-safe pieces.
+
+    This is the bridge the experiment orchestrator's ``"link"`` point kind
+    crosses: a :class:`~repro.experiments.spec.PointSpec` carries only
+    canonical-JSON data, so the protocol/code knobs arrive as plain dicts
+    (``options``: ``n_packets``, ``payload_bytes``, ``params``,
+    ``decoder``, ``config``) and the channel as a registry name plus
+    family options.  The resulting job is exactly the one a hand-written
+    ``runner.py`` sweep would build — the equality
+    ``tests/test_experiments.py`` locks in.
+    """
+    opts = dict(options or {})
+    known = {"job_id", "n_packets", "payload_bytes", "params", "decoder",
+             "config"}
+    unknown = set(opts) - known
+    if unknown:
+        # same discipline as the channel registry: a misspelled knob must
+        # fail loudly, not silently fall back to a default whose wrong
+        # result then gets cached under the typo'd content address
+        raise ValueError(
+            f"unknown link job options {sorted(unknown)}; "
+            f"accepted: {sorted(known)}")
+    channel_options = dict(channel_options or {})
+    bad_channel_opts = set(channel_options) - set(
+        channel_family(channel).options)
+    if bad_channel_opts:
+        # the same rule for the channel's knobs: a measure point's typo'd
+        # channel option raises via the registry, so a link point's must too
+        raise ValueError(
+            f"channel family {channel!r} does not accept options "
+            f"{sorted(bad_channel_opts)}; "
+            f"accepted: {sorted(channel_family(channel).options)}")
+    return LinkJob(
+        job_id=job_id,
+        seed=int(seed),
+        snr_db=float(snr_db),
+        n_packets=int(opts.get("n_packets", 4)),
+        payload_bytes=int(opts.get("payload_bytes", 32)),
+        params=SpinalParams(**dict(opts.get("params") or {})),
+        decoder_params=DecoderParams(**dict(opts.get("decoder") or {})),
+        config=LinkConfig(**dict(opts.get("config") or {})),
+        channel=channel,
+        coherence_time=int(channel_options.get("coherence_time", 10)),
+    )
 
 
 def run_job(job: LinkJob) -> dict:
