@@ -52,8 +52,10 @@ def run_catalog(name: str):
     report = entry.report(run, RESULTS_DIR)
     # accounting goes to stderr so the bench's stdout stays byte-identical
     # to its pre-migration output
+    quarantined = (f", {run.n_quarantined} quarantined"
+                   if run.n_quarantined else "")
     print(f"[store] {run.n_cached}/{len(spec.points)} points cached, "
-          f"{run.n_computed} computed -> {run.store_path}",
+          f"{run.n_computed} computed{quarantined} -> {run.store_path}",
           file=sys.stderr)
     return report
 

@@ -1,0 +1,157 @@
+"""Per-kernel microbenchmarks for the decode hot path.
+
+The bubble decoder spends its time in three kernels — the spine hash, the
+branch-cost evaluation, and beam selection — and ``repro.obs`` now reports
+their live shares per run (``--metrics``).  This suite tracks each kernel
+in isolation with pytest-benchmark so a regression is attributable to one
+kernel, not just "decode got slower":
+
+- ``hash``: every registered spine hash (:func:`repro.core.hashes.
+  available_hashes`) over beam-sized and cohort-sized uint32 state arrays,
+  the exact shapes the tree expansion hashes each step;
+- ``branch_cost``: :meth:`BubbleDecoder._branch_costs` — broadcast hash +
+  distance arithmetic over all received symbols of one spine position —
+  for the paper's AWGN code, the rate-1/3 BSC code, and a fading store
+  with per-symbol CSI;
+- ``select``: :func:`repro.core.decoder.select_beams` (argpartition
+  subtree pruning) in scalar (1-D) and batch-cohort (2-D) shapes.
+
+Run with ``pytest benchmarks/bench_kernels.py``; a session teardown writes
+``bench_results/BENCH_kernels.json`` (mean/stddev/rounds per kernel) in
+the same canonical form the other benches emit, so CI can diff numbers
+across PRs.  Not collected by the tier-1 suite (``testpaths = ["tests"]``).
+"""
+
+import numpy as np
+import pytest
+
+from _common import write_json
+from repro.channels import AWGNChannel, BSCChannel
+from repro.core.decoder import BubbleDecoder, select_beams
+from repro.core.encoder import SpinalEncoder
+from repro.core.hashes import available_hashes, get_hash
+from repro.core.params import DecoderParams, SpinalParams
+from repro.core.symbols import ReceivedSymbols
+from repro.utils.bitops import random_message
+
+# Array sizes matching what one tree-expansion step hashes: a full beam of
+# B=256 subtrees x 2^k children, and a 16-message batch cohort of the same.
+BEAM = 256 * 16
+COHORT = 16 * BEAM
+
+#: ``branch_cost`` configurations: (code params, message bits, SNR-ish x).
+CONFIGS = {
+    "awgn_k4_c6": (SpinalParams(), 32, 8.0),
+    "bsc_k4": (SpinalParams.bsc(), 32, 0.05),
+}
+
+
+@pytest.fixture(scope="session")
+def kernel_records():
+    """Collects one record per benchmark; written to JSON at teardown."""
+    records = []
+    yield records
+    write_json("BENCH_kernels", {
+        "suite": "kernels",
+        "records": sorted(records, key=lambda r: (r["group"], r["name"])),
+    })
+
+
+def _record(kernel_records, benchmark, group, name, **meta):
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    record = {"group": group, "name": name, **meta}
+    if stats is not None:
+        record.update(
+            mean_s=float(stats.mean),
+            stddev_s=float(stats.stddev),
+            rounds=int(stats.rounds),
+        )
+    kernel_records.append(record)
+
+
+# ---------------------------------------------------------------------------
+# hash kernels
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_states", [BEAM, COHORT], ids=["beam", "cohort"])
+@pytest.mark.parametrize("hash_name", available_hashes())
+def test_hash_kernel(benchmark, kernel_records, hash_name, n_states):
+    hash_fn = get_hash(hash_name)
+    rng = np.random.default_rng(7)
+    states = rng.integers(0, 2**32, size=n_states, dtype=np.uint32)
+    data = rng.integers(0, 2**16, size=n_states, dtype=np.uint32)
+    out = benchmark(hash_fn, states, data)
+    assert out.shape == states.shape and out.dtype == np.uint32
+    _record(kernel_records, benchmark, "hash", f"{hash_name}/{n_states}",
+            hash=hash_name, n_states=n_states)
+
+
+# ---------------------------------------------------------------------------
+# branch-cost kernel
+# ---------------------------------------------------------------------------
+
+def _filled_store(params, n_bits, x, n_subpasses=4, seed=99):
+    """A received-symbol store holding ``n_subpasses`` noisy subpasses."""
+    rng = np.random.default_rng(seed)
+    encoder = SpinalEncoder(params, random_message(n_bits, rng))
+    if params.is_bsc:
+        channel = BSCChannel(x, rng=rng)
+    else:
+        channel = AWGNChannel(x, rng=rng)
+    store = ReceivedSymbols(encoder.n_spine, complex_valued=not params.is_bsc)
+    block = encoder.generate(0, n_subpasses)
+    store.add_block(block.spine_indices, block.slots,
+                    channel.transmit(block.values).values)
+    return store
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
+def test_branch_cost_kernel(benchmark, kernel_records, config):
+    params, n_bits, x = CONFIGS[config]
+    decoder = BubbleDecoder(params, DecoderParams(B=256), n_bits)
+    store = _filled_store(params, n_bits, x)
+    states = np.random.default_rng(3).integers(
+        0, 2**32, size=BEAM, dtype=np.uint32)
+    costs = benchmark(decoder._branch_costs, states, 1, store)
+    assert costs.shape == (BEAM,) and np.all(costs >= 0.0)
+    _record(kernel_records, benchmark, "branch_cost", config,
+            config=config, n_states=BEAM)
+
+
+def test_branch_cost_kernel_fading_csi(benchmark, kernel_records):
+    """Fading branch costs: the CSI multiply is extra work worth tracking."""
+    params = SpinalParams()
+    store = _filled_store(params, 32, 8.0)
+    # Rebuild the same symbols with unit-magnitude per-symbol CSI attached.
+    csi_store = ReceivedSymbols(store.n_spine, complex_valued=True)
+    rng = np.random.default_rng(11)
+    for i in range(store.n_spine):
+        slots, values, _ = store.for_spine(i)
+        if slots.size == 0:
+            continue
+        phases = np.exp(2j * np.pi * rng.random(slots.size))
+        csi_store.add_block(np.full(slots.size, i), slots, values, csi=phases)
+    decoder = BubbleDecoder(params, DecoderParams(B=256), 32)
+    states = np.random.default_rng(3).integers(
+        0, 2**32, size=BEAM, dtype=np.uint32)
+    costs = benchmark(decoder._branch_costs, states, 1, csi_store)
+    assert costs.shape == (BEAM,) and np.all(costs >= 0.0)
+    _record(kernel_records, benchmark, "branch_cost", "awgn_k4_c6_csi",
+            config="awgn_k4_c6_csi", n_states=BEAM)
+
+
+# ---------------------------------------------------------------------------
+# selection kernel
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shape,n_beam", [
+    ((BEAM,), 256),
+    ((16, BEAM), 256),
+], ids=["scalar", "batch16"])
+def test_select_kernel(benchmark, kernel_records, shape, n_beam):
+    costs = np.random.default_rng(5).random(shape)
+    kept = benchmark(select_beams, costs, n_beam)
+    assert kept.shape[-1] == n_beam
+    _record(kernel_records, benchmark, "select",
+            f"{'x'.join(map(str, shape))}/B{n_beam}",
+            shape=list(shape), n_beam=n_beam)

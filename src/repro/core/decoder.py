@@ -33,9 +33,30 @@ import numpy as np
 
 from repro.core.params import DecoderParams, SpinalParams
 from repro.core.symbols import BatchReceivedView, ReceivedSymbols
+from repro.obs import OBS, clock
 from repro.utils.bitops import pack_chunks
 
-__all__ = ["BubbleDecoder", "BatchBubbleDecoder", "DecodeResult"]
+__all__ = ["BubbleDecoder", "BatchBubbleDecoder", "DecodeResult", "select_beams"]
+
+
+def select_beams(group_costs: np.ndarray, n_beam: int) -> np.ndarray:
+    """Indices of the ``n_beam`` cheapest candidate subtrees (per row).
+
+    The beam-selection kernel: a 1-D input is one message's flattened
+    candidate costs (scalar decoder); a 2-D input selects along axis 1 for
+    every message of a batch.  Both shapes use the same ``argpartition``
+    calls the decoders always made (introselect order preserved), so the
+    surviving index sets — and therefore decode results — are unchanged.
+    """
+    if group_costs.ndim == 1:
+        n_keep = min(n_beam, group_costs.size)
+        if n_keep < group_costs.size:
+            return np.argpartition(group_costs, n_keep - 1)[:n_keep]
+        return np.arange(group_costs.size)
+    n_keep = min(n_beam, group_costs.shape[1])
+    if n_keep < group_costs.shape[1]:
+        return np.argpartition(group_costs, n_keep - 1, axis=1)[:, :n_keep]
+    return np.broadcast_to(np.arange(group_costs.shape[1]), group_costs.shape)
 
 
 @dataclass
@@ -97,10 +118,21 @@ class BubbleDecoder:
         states = np.asarray(states, dtype=np.uint32)
         if slots.size == 0:
             return np.zeros(states.size, dtype=np.float64)
+        # Metrics discipline (see repro.obs): snapshot the flag, time with
+        # plain clock reads, flush once — disabled cost is one branch.
+        _on = OBS.enabled
+        if _on:
+            t0 = clock()
         words = self._rng.words(states[None, :], slots[:, None])
+        if _on:
+            t1 = clock()
+            OBS.add_time("kernel.hash", t1 - t0)
         if self.params.is_bsc:
             bits = (words & np.uint32(1)).astype(np.float64)
-            return np.abs(bits - values[:, None]).sum(axis=0)
+            out = np.abs(bits - values[:, None]).sum(axis=0)
+            if _on:
+                OBS.add_time("kernel.branch_cost", clock() - t1)
+            return out
         c = self.params.c
         x_i = self._levels[(words & self._c_mask).astype(np.intp)]
         x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
@@ -111,7 +143,10 @@ class BubbleDecoder:
             faded = csi[:, None] * (x_i + 1j * x_q)
             d_r = values.real[:, None] - faded.real
             d_q = values.imag[:, None] - faded.imag
-        return (d_r * d_r + d_q * d_q).sum(axis=0)
+        out = (d_r * d_r + d_q * d_q).sum(axis=0)
+        if _on:
+            OBS.add_time("kernel.branch_cost", clock() - t1)
+        return out
 
     # ------------------------------------------------------------------
     # tree search
@@ -124,13 +159,24 @@ class BubbleDecoder:
         k, K, d, W = self.k, 1 << self.k, self.d, self._W
         edges = np.arange(K, dtype=np.uint32)
         hash_fn = self.params.hash_fn
+        # Kernel timing accumulates in locals and flushes once at the end
+        # (repro.obs hot-loop discipline: disabled cost is one branch per
+        # step, no allocations).
+        _on = OBS.enabled
+        t_hash = t_sel = 0.0
+        n_hash = n_sel = 0
 
         # Unpruned expansion of the first d-1 levels (builds the initial
         # partial tree of Figure 4-1(a)).
         leaf_states = np.full((1, 1), self.params.s0, dtype=np.uint32)
         leaf_costs = np.zeros((1, 1), dtype=np.float64)
         for step in range(d - 1):
+            if _on:
+                t0 = clock()
             children = hash_fn(leaf_states[:, :, None], edges)
+            if _on:
+                t_hash += clock() - t0
+                n_hash += 1
             bc = self._branch_costs(children.ravel(), step, received)
             leaf_costs = (leaf_costs[:, :, None]
                           + bc.reshape(children.shape)).reshape(1, -1)
@@ -141,7 +187,12 @@ class BubbleDecoder:
         edge_hist: list[np.ndarray] = []
         for step in range(d - 1, self.n_spine):
             n_beam = leaf_states.shape[0]
+            if _on:
+                t0 = clock()
             children = hash_fn(leaf_states[:, :, None], edges)  # (n_beam, W, K)
+            if _on:
+                t_hash += clock() - t0
+                n_hash += 1
             bc = self._branch_costs(children.ravel(), step, received)
             totals = leaf_costs[:, :, None] + bc.reshape(n_beam, W, K)
             # Flat child index w*K+e spells the d base-2^k path digits with
@@ -149,18 +200,22 @@ class BubbleDecoder:
             # (K, W) groups children by first edge = candidate subtree.
             totals = totals.reshape(n_beam, K, W)
             states3 = children.reshape(n_beam, K, W)
+            if _on:
+                t0 = clock()
             group_costs = totals.min(axis=2).ravel()
-            n_keep = min(self.dec.B, group_costs.size)
-            if n_keep < group_costs.size:
-                sel = np.argpartition(group_costs, n_keep - 1)[:n_keep]
-            else:
-                sel = np.arange(group_costs.size)
+            sel = select_beams(group_costs, self.dec.B)
             parents = sel // K
             sel_edges = sel % K
-            parent_hist.append(parents)
-            edge_hist.append(sel_edges)
             leaf_states = states3[parents, sel_edges, :]
             leaf_costs = totals[parents, sel_edges, :]
+            if _on:
+                t_sel += clock() - t0
+                n_sel += 1
+            parent_hist.append(parents)
+            edge_hist.append(sel_edges)
+        if _on:
+            OBS.add_time("kernel.hash", t_hash, n_hash)
+            OBS.add_time("kernel.select", t_sel, n_sel)
 
         # Best leaf overall, then backtrack.
         flat_best = int(np.argmin(leaf_costs))
@@ -215,12 +270,21 @@ class BatchBubbleDecoder(BubbleDecoder):
         n_msgs, n_states = states.shape
         if slots.size == 0:
             return np.zeros((n_msgs, n_states), dtype=np.float64)
+        _on = OBS.enabled
+        if _on:
+            t0 = clock()
         # (n_slots, M, n_states): slot axis leads exactly as in the scalar
         # path's (n_slots, n_states), so the sum reduces in the same order.
         words = self._rng.words(states[None, :, :], slots[:, None, None])
+        if _on:
+            t1 = clock()
+            OBS.add_time("kernel.hash", t1 - t0)
         if self.params.is_bsc:
             bits = (words & np.uint32(1)).astype(np.float64)
-            return np.abs(bits - values.T[:, :, None]).sum(axis=0)
+            out = np.abs(bits - values.T[:, :, None]).sum(axis=0)
+            if _on:
+                OBS.add_time("kernel.branch_cost", clock() - t1)
+            return out
         c = self.params.c
         x_i = self._levels[(words & self._c_mask).astype(np.intp)]
         x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
@@ -233,7 +297,10 @@ class BatchBubbleDecoder(BubbleDecoder):
             faded = csi.T[:, :, None] * (x_i + 1j * x_q)
             d_r = values.real.T[:, :, None] - faded.real
             d_q = values.imag.T[:, :, None] - faded.imag
-        return (d_r * d_r + d_q * d_q).sum(axis=0)
+        out = (d_r * d_r + d_q * d_q).sum(axis=0)
+        if _on:
+            OBS.add_time("kernel.branch_cost", clock() - t1)
+        return out
 
     def decode_batch(self, received: BatchReceivedView) -> list[DecodeResult]:
         """Decode every message of a batch view in one vectorised search."""
@@ -243,12 +310,20 @@ class BatchBubbleDecoder(BubbleDecoder):
         M = received.n_rows
         edges = np.arange(K, dtype=np.uint32)
         hash_fn = self.params.hash_fn
+        _on = OBS.enabled
+        t_hash = t_sel = 0.0
+        n_hash = n_sel = 0
 
         # Unpruned expansion of the first d-1 levels.
         leaf_states = np.full((M, 1, 1), self.params.s0, dtype=np.uint32)
         leaf_costs = np.zeros((M, 1, 1), dtype=np.float64)
         for step in range(d - 1):
+            if _on:
+                t0 = clock()
             children = hash_fn(leaf_states[:, :, :, None], edges)
+            if _on:
+                t_hash += clock() - t0
+                n_hash += 1
             bc = self._branch_costs_batch(
                 children.reshape(M, -1), step, received
             )
@@ -263,27 +338,34 @@ class BatchBubbleDecoder(BubbleDecoder):
         row_idx = np.arange(M)[:, None]
         for step in range(d - 1, self.n_spine):
             n_beam = leaf_states.shape[1]
+            if _on:
+                t0 = clock()
             children = hash_fn(leaf_states[:, :, :, None], edges)
+            if _on:
+                t_hash += clock() - t0
+                n_hash += 1
             bc = self._branch_costs_batch(
                 children.reshape(M, -1), step, received
             )
             totals = leaf_costs[:, :, :, None] + bc.reshape(M, n_beam, W, K)
             totals = totals.reshape(M, n_beam, K, W)
             states4 = children.reshape(M, n_beam, K, W)
+            if _on:
+                t0 = clock()
             group_costs = totals.min(axis=3).reshape(M, n_beam * K)
-            n_keep = min(self.dec.B, group_costs.shape[1])
-            if n_keep < group_costs.shape[1]:
-                sel = np.argpartition(group_costs, n_keep - 1, axis=1)[:, :n_keep]
-            else:
-                sel = np.broadcast_to(
-                    np.arange(group_costs.shape[1]), group_costs.shape
-                )
+            sel = select_beams(group_costs, self.dec.B)
             parents = sel // K
             sel_edges = sel % K
-            parent_hist.append(parents)
-            edge_hist.append(sel_edges)
             leaf_states = states4[row_idx, parents, sel_edges, :]
             leaf_costs = totals[row_idx, parents, sel_edges, :]
+            if _on:
+                t_sel += clock() - t0
+                n_sel += 1
+            parent_hist.append(parents)
+            edge_hist.append(sel_edges)
+        if _on:
+            OBS.add_time("kernel.hash", t_hash, n_hash)
+            OBS.add_time("kernel.select", t_sel, n_sel)
 
         # Best leaf and backtrack, per message.
         flat_costs = leaf_costs.reshape(M, -1)

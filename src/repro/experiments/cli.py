@@ -15,6 +15,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+import os
+
 from repro.experiments.catalog import (
     PROFILES,
     build_spec,
@@ -24,6 +26,8 @@ from repro.experiments.catalog import (
 from repro.experiments.orchestrator import run_experiment
 from repro.experiments.spec import point_hash, spec_hash
 from repro.experiments.store import ResultStore
+from repro.obs import OBS, metrics_payload, render_summary
+from repro.utils.results import write_canonical_json
 
 __all__ = ["main"]
 
@@ -65,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-report", action="store_true",
                        help="skip the report (prints + CSV); just fill "
                             "the store")
+        p.add_argument("--metrics", action="store_true",
+                       help="collect out-of-band metrics (kernel time "
+                            "breakdown, store hit/miss, worker "
+                            "utilization): print a summary and write "
+                            "<results-dir>/<name>.metrics.json")
+        p.add_argument("--metrics-jsonl", metavar="PATH", default=None,
+                       help="also stream span/link trace events to a "
+                            "JSONL file (implies --metrics)")
 
     p = sub.add_parser("show", help="print an experiment's spec and "
                                     "store status")
@@ -83,21 +95,57 @@ def _cmd_list() -> int:
     return 0
 
 
+def _accounting_line(run, n_points: int) -> str:
+    quarantined = (f", {run.n_quarantined} quarantined"
+                   if run.n_quarantined else "")
+    return (f"[store] {run.n_cached}/{n_points} points cached, "
+            f"{run.n_computed} computed{quarantined} -> {run.store_path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     entry = get_entry(args.name)
     spec = build_spec(args.name, args.profile)
     store = ResultStore(args.store)
     if args.fresh and store.discard(spec):
         print(f"[store] discarded {store.path_for(spec)}")
-    run = run_experiment(spec, store=store, n_workers=args.workers,
-                         progress=lambda msg: print(msg, file=sys.stderr))
-    if not args.no_report:
-        entry.report(run, args.results_dir)
-    print(f"[store] {run.n_cached}/{len(spec.points)} points cached, "
-          f"{run.n_computed} computed -> {run.store_path}")
+    metrics = args.metrics or args.metrics_jsonl is not None
+    if metrics:
+        OBS.enable(jsonl_path=args.metrics_jsonl)
+    try:
+        run = run_experiment(spec, store=store, n_workers=args.workers,
+                             progress=lambda msg: print(msg, file=sys.stderr))
+        if not args.no_report:
+            entry.report(run, args.results_dir)
+        print(_accounting_line(run, len(spec.points)))
+        if metrics:
+            snapshot = OBS.snapshot()
+            print(render_summary(snapshot))
+            path = write_canonical_json(
+                os.path.join(args.results_dir,
+                             f"{args.name}.metrics.json"),
+                metrics_payload(
+                    snapshot,
+                    experiment=args.name,
+                    profile=args.profile,
+                    spec_hash=spec_hash(spec),
+                    store={"hit": run.n_cached, "miss": run.n_computed,
+                           "quarantined": run.n_quarantined},
+                ))
+            print(f"[metrics] {path}")
+    finally:
+        if metrics:
+            OBS.disable()
+            OBS.reset()
     if args.expect_cached and run.n_computed > 0:
         print(f"[store] FAIL: expected a full store hit but "
-              f"{run.n_computed} points were simulated", file=sys.stderr)
+              f"{run.n_computed} points were simulated:", file=sys.stderr)
+        computed = set(run.computed_hashes)
+        for point in spec.points:
+            h = point_hash(point)
+            if h in computed:
+                print(f"[store]   missed {h} ({point.series} @ "
+                      f"x={point.x:g}, kind={point.kind}, "
+                      f"seed={point.seed})", file=sys.stderr)
         return 1
     return 0
 

@@ -30,8 +30,9 @@ from repro.experiments.spec import (
     point_hash,
 )
 from repro.experiments.store import ResultStore
+from repro.obs import OBS, clock
 from repro.simulation.sweep import measure_scheme
-from repro.utils.parallel import imap_jobs
+from repro.utils.parallel import imap_jobs, resolve_workers
 
 __all__ = ["ExperimentRun", "run_point", "run_experiment"]
 
@@ -161,6 +162,38 @@ def run_point(point: PointSpec) -> dict:
     return record
 
 
+def _run_point_inline(point: PointSpec) -> tuple[dict, dict | None]:
+    """Metrics-enabled point job executed in the orchestrating process.
+
+    Kernel timers land directly in the live registry; only the per-point
+    wall time needs recording here.  Returned alongside a ``None``
+    snapshot so the caller's unpacking matches the worker path.
+    """
+    t0 = clock()
+    record = run_point(point)
+    OBS.add_time("point.wall", clock() - t0)
+    return record, None
+
+
+def _run_point_measured(point: PointSpec) -> tuple[dict, dict | None]:
+    """Metrics-enabled point job executed in a pool worker process.
+
+    A forked worker inherits the parent's enabled registry (and its event
+    sink); a spawned worker starts disabled.  Either way the worker adopts
+    a clean, sink-less registry of its own, then drains it after the job
+    so every result carries exactly that point's metrics back to the
+    parent, which merges them.  The result *record* is untouched — worker
+    metrics never reach the store, so store bytes stay identical to a
+    metrics-off run.
+    """
+    if OBS.in_foreign_process() or not OBS.enabled:
+        OBS.adopt()
+    t0 = clock()
+    record = run_point(point)
+    OBS.add_time("point.wall", clock() - t0)
+    return record, OBS.drain()
+
+
 @dataclass
 class ExperimentRun:
     """Outcome of one orchestrated run: all point records plus accounting."""
@@ -169,6 +202,8 @@ class ExperimentRun:
     results: dict[str, dict]          # point hash -> record
     n_cached: int = 0                 # points served from the store
     n_computed: int = 0               # simulation jobs actually run
+    n_quarantined: int = 0            # bad store files moved aside on load
+    computed_hashes: tuple[str, ...] = ()  # point hashes that missed the store
     store_path: str | None = None
 
     def record_for(self, point: PointSpec) -> dict:
@@ -217,24 +252,52 @@ def run_experiment(
             "every point must be a distinct job"
         )
     results: dict[str, dict] = {}
+    quarantined_before = store.n_quarantined if store is not None else 0
     if store is not None:
         known = store.load(spec)
         results = {h: known[h] for h in hashes if h in known}
+    n_quarantined = (store.n_quarantined - quarantined_before
+                     if store is not None else 0)
     n_cached = len(results)
     missing = [(h, p) for h, p in zip(hashes, spec.points)
                if h not in results]
     progress(f"{spec.experiment_id}: {n_cached}/{len(hashes)} points cached, "
              f"computing {len(missing)}")
     store_path = store.path_for(spec) if store is not None else None
-    for (h, point), record in zip(
-            missing,
-            imap_jobs(run_point, [p for _, p in missing], n_workers)):
-        results[h] = record
-        if store is not None:
-            # flush incrementally: an interrupted sweep resumes from here
-            store.save(spec, results)
-        progress(f"  done {point.series} @ x={point.x:g} "
-                 f"({len(results)}/{len(hashes)})")
+
+    # Metrics are strictly out-of-band: when the registry is enabled the
+    # jobs are wrapped to report kernel timers and per-point wall time
+    # (merged from workers), but the stored records are byte-identical
+    # either way.
+    OBS.counter("store.hit", n_cached)
+    OBS.counter("store.miss", len(missing))
+    measured = OBS.enabled
+    if measured and missing:
+        resolved = resolve_workers(len(missing), n_workers)
+        OBS.counter("orchestrator.workers", resolved)
+        job_fn = (_run_point_inline
+                  if resolved <= 1 or len(missing) <= 1
+                  else _run_point_measured)
+    else:
+        job_fn = run_point
+
+    with OBS.span("orchestrator.run", experiment=spec.experiment_id,
+                  points=len(hashes), missing=len(missing)):
+        for (h, point), outcome in zip(
+                missing,
+                imap_jobs(job_fn, [p for _, p in missing], n_workers)):
+            if measured:
+                record, worker_snapshot = outcome
+                if worker_snapshot is not None:
+                    OBS.merge(worker_snapshot)
+            else:
+                record = outcome
+            results[h] = record
+            if store is not None:
+                # flush incrementally: an interrupted sweep resumes from here
+                store.save(spec, results)
+            progress(f"  done {point.series} @ x={point.x:g} "
+                     f"({len(results)}/{len(hashes)})")
     if store is not None and not missing and not os.path.exists(store_path):
         # the in-loop flush already wrote the final state whenever anything
         # ran; this only materializes the file for an empty spec
@@ -244,5 +307,7 @@ def run_experiment(
         results=results,
         n_cached=n_cached,
         n_computed=len(missing),
+        n_quarantined=n_quarantined,
+        computed_hashes=tuple(h for h, _ in missing),
         store_path=store_path,
     )

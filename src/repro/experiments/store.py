@@ -27,6 +27,7 @@ import os
 import warnings
 
 from repro.experiments.spec import ExperimentSpec, spec_hash
+from repro.obs import OBS
 from repro.utils.results import write_canonical_json
 
 __all__ = ["ResultStore", "StoreQuarantineWarning"]
@@ -37,10 +38,17 @@ class StoreQuarantineWarning(UserWarning):
 
 
 class ResultStore:
-    """Per-spec point-result cache rooted at ``root`` (a directory)."""
+    """Per-spec point-result cache rooted at ``root`` (a directory).
+
+    ``n_quarantined`` counts the bad files this instance has moved aside —
+    the orchestrator reports it in the run accounting line (and as the
+    ``store.quarantine`` metrics counter) so quarantines show up in CI
+    logs, not only as Python warnings.
+    """
 
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
+        self.n_quarantined = 0
 
     def path_for(self, spec: ExperimentSpec) -> str:
         return os.path.join(self.root, f"{spec_hash(spec)}.json")
@@ -48,6 +56,8 @@ class ResultStore:
     def _quarantine(self, path: str, reason: str) -> None:
         bad_path = f"{path}.bad"
         os.replace(path, bad_path)
+        self.n_quarantined += 1
+        OBS.counter("store.quarantine")
         warnings.warn(
             f"store file {path} {reason}; quarantined to {bad_path} and "
             "resuming from empty (completed points will be recomputed)",

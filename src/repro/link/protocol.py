@@ -40,6 +40,7 @@ from repro.core.encoder import SpinalEncoder
 from repro.core.framing import FrameDecoder, FrameEncoder
 from repro.core.params import DecoderParams, SpinalParams
 from repro.core.symbols import ReceivedSymbols
+from repro.obs import OBS
 from repro.simulation.engine import csi_mode, received_view
 from repro.utils.bitops import bits_from_bytes
 
@@ -286,6 +287,7 @@ class PacketTransmitter:
         g = self.subpass
         rx_acks = self.rx.ack_bitmap()
         sent = 0
+        retrans = 0
         for b, enc in enumerate(self._encoders):
             if self._sender_acks[b]:
                 continue
@@ -298,8 +300,9 @@ class PacketTransmitter:
                 # The receiver already had this block; the sender just
                 # doesn't know yet (§8.4 feedback-delay overhead).
                 self.wasted_symbols += len(block)
-                self.retransmissions += 1
+                retrans += 1
         self.symbols += sent
+        self.retransmissions += retrans
         self.subpass += 1
         if self.subpass % self.config.decode_interval == 0 or \
                 self.subpass == self.max_subpasses:
@@ -308,10 +311,32 @@ class PacketTransmitter:
             bitmap = self.rx.ack_bitmap()
         self._feedback.append(
             (self.link.time + self.config.feedback_delay, list(bitmap)))
+        if OBS.enabled:
+            # Out-of-band trace of the ARQ exchange (repro.obs): per-subpass
+            # transmit plus the ACK/NACK verdict the receiver queued.  The
+            # guard keeps the disabled path free of dict construction.
+            n_acked = sum(bitmap)
+            OBS.counter("link.ack", n_acked)
+            OBS.counter("link.nack", len(bitmap) - n_acked)
+            if retrans:
+                OBS.counter("link.retransmit", retrans)
+            OBS.event("link.subpass", flow=self.flow, seq=self.seq,
+                      subpass=g, symbols=sent, retransmitted=retrans,
+                      acked=n_acked, blocks=len(bitmap),
+                      time=self.link.time)
         self.poll()
         return sent
 
     def _finish(self, success: bool, finish_time: int) -> None:
+        if OBS.enabled:
+            OBS.counter("link.packet_delivered" if success
+                        else "link.packet_failed")
+            OBS.event("link.packet", flow=self.flow, seq=self.seq,
+                      success=success, subpasses=self.subpass,
+                      symbols=self.symbols,
+                      wasted_symbols=self.wasted_symbols,
+                      retransmissions=self.retransmissions,
+                      start_time=self.start_time, finish_time=finish_time)
         self.result = PacketResult(
             flow=self.flow,
             seq=self.seq,

@@ -1,0 +1,45 @@
+"""JSONL event sink for span and link-layer traces.
+
+One event per line, each a self-contained JSON object:
+
+- ``ev``: event name — ``"span"`` for timed phases, or a dotted event
+  name such as ``"link.subpass"`` / ``"link.feedback"``;
+- ``t_s``: seconds since the registry was enabled (wall clock, process
+  local);
+- ``dt_s``: duration in seconds (span events only);
+- remaining keys are event-specific attributes (flow, seq, subpass,
+  acked blocks, ...).
+
+Lines are appended in call order and flushed per write, so a trace is
+readable even if the process dies mid-run.  The sink is deliberately
+parent-process-only: forked workers drop the inherited reference
+(:meth:`repro.obs.registry.Observability.adopt`) so concurrent processes
+never interleave writes into one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["EventSink"]
+
+
+class EventSink:
+    """Append-only JSONL writer (one JSON object per line)."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

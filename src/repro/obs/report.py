@@ -1,0 +1,116 @@
+"""End-of-run metrics summary: text rendering and the JSON artifact.
+
+The summary answers the questions the paper's own evaluation asks of the
+implementation (Appendix B is exactly a per-kernel cost breakdown): how
+decode wall time splits across the hash, branch-cost, and selection
+kernels, how the experiment store behaved (hits / misses / quarantines),
+and how well the worker pool was utilized.
+
+Both renderings consume a registry *snapshot* (see
+:meth:`repro.obs.registry.Observability.snapshot`), so they work equally
+on the live singleton and on a snapshot merged from worker processes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["kernel_breakdown", "render_summary", "metrics_payload"]
+
+#: Timer names the decode instrumentation emits (the kernel seam the
+#: ROADMAP's backend work needs numbers for).
+KERNEL_TIMERS = ("kernel.hash", "kernel.branch_cost", "kernel.select")
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.1f}us"
+
+
+def kernel_breakdown(snapshot: dict) -> dict[str, dict]:
+    """Per-kernel time stats plus each kernel's share of their total."""
+    timers = snapshot.get("timers", {})
+    present = {name: dict(timers[name]) for name in KERNEL_TIMERS
+               if name in timers}
+    total = sum(rec["total_s"] for rec in present.values())
+    for rec in present.values():
+        rec["share"] = rec["total_s"] / total if total > 0 else 0.0
+    return present
+
+
+def _orchestrator_lines(snapshot: dict) -> list[str]:
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    lines: list[str] = []
+    run = timers.get("orchestrator.run")
+    wall = timers.get("point.wall")
+    if run is None and wall is None:
+        return lines
+    n_points = wall["n"] if wall else 0
+    elapsed = run["total_s"] if run else 0.0
+    parts = [f"{n_points} points computed"]
+    if elapsed > 0:
+        parts.append(f"in {_fmt_seconds(elapsed)}"
+                     f" ({n_points / elapsed:.2f} points/s)")
+    workers = counters.get("orchestrator.workers")
+    if workers and elapsed > 0 and wall:
+        busy = wall["total_s"]
+        utilization = busy / (workers * elapsed)
+        parts.append(f"on {workers} worker(s), "
+                     f"{100.0 * utilization:.0f}% utilization")
+    lines.append("orchestrator: " + ", ".join(parts))
+    return lines
+
+
+def render_summary(snapshot: dict) -> str:
+    """Human-readable end-of-run summary (the ``--metrics`` printout)."""
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    lines = ["== metrics summary =="]
+
+    kernels = kernel_breakdown(snapshot)
+    if kernels:
+        lines.append("decode kernels:")
+        for name, rec in sorted(
+                kernels.items(), key=lambda kv: -kv[1]["total_s"]):
+            lines.append(
+                f"  {name:20} {_fmt_seconds(rec['total_s']):>10}"
+                f"  ({100.0 * rec['share']:5.1f}%)"
+                f"  calls {rec['n']:>8}"
+                f"  avg {_fmt_seconds(rec['mean_s'])}")
+
+    other = {name: rec for name, rec in timers.items()
+             if name not in kernels}
+    if other:
+        lines.append("timers:")
+        for name, rec in sorted(other.items()):
+            lines.append(
+                f"  {name:20} {_fmt_seconds(rec['total_s']):>10}"
+                f"  calls {rec['n']:>8}"
+                f"  avg {_fmt_seconds(rec['mean_s'])}")
+
+    if counters:
+        lines.append("counters:")
+        for name, n in sorted(counters.items()):
+            lines.append(f"  {name:28} {n:>10}")
+
+    lines.extend(_orchestrator_lines(snapshot))
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def metrics_payload(snapshot: dict, **extra) -> dict:
+    """The ``bench_results/<name>.metrics.json`` artifact payload.
+
+    Carries the raw snapshot plus the derived kernel breakdown, so CI
+    artifacts are self-contained.  ``extra`` lets callers attach context
+    (experiment name, profile, worker count, store accounting).
+    """
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "timers": {k: dict(v) for k, v in snapshot.get("timers", {}).items()},
+        "kernels": kernel_breakdown(snapshot),
+        **extra,
+    }

@@ -52,6 +52,7 @@ from repro.core.decoder import BatchBubbleDecoder, BubbleDecoder
 from repro.core.encoder import BatchSpinalEncoder, SpinalEncoder
 from repro.core.params import DecoderParams, SpinalParams
 from repro.core.symbols import BatchReceivedSymbols, ReceivedSymbols
+from repro.obs import OBS
 
 __all__ = [
     "SpinalSession",
@@ -206,7 +207,9 @@ class SpinalSession:
         """Decode from the first ``n_subpasses`` subpasses."""
         self._ensure_subpasses(n_subpasses)
         view = self._store.prefix(self._checkpoints[n_subpasses])
-        result = self.decoder.decode(view)
+        OBS.counter("decode.attempts")
+        with OBS.timer("decode.attempt"):
+            result = self.decoder.decode(view)
         self._n_attempts += 1
         self._last_cost = result.path_cost
         return result.matches(self.message_bits)
@@ -400,7 +403,10 @@ class BatchSession:
         def attempt(rows: np.ndarray, n_subpasses: int) -> np.ndarray:
             """Batched decode of ``rows`` at a prefix; returns success mask."""
             view = store.prefix(rows, checkpoints[n_subpasses])
-            results = decoder.decode_batch(view)
+            OBS.counter("decode.attempts", rows.size)
+            with OBS.span("decode.cohort", rows=int(rows.size),
+                          subpasses=int(n_subpasses)):
+                results = decoder.decode_batch(view)
             ok = np.zeros(rows.size, dtype=bool)
             for j, m in enumerate(rows):
                 n_attempts[m] += 1
@@ -484,7 +490,10 @@ class BatchSession:
                 block.spine_indices, block.slots, values, rows=rows, csi=csi
             )
             n_symbols += len(block)
-        results = decoder.decode_batch(store.prefix(rows, store.checkpoint()))
+        OBS.counter("decode.attempts", M)
+        with OBS.span("decode.cohort", rows=M, subpasses=n_subpasses):
+            results = decoder.decode_batch(
+                store.prefix(rows, store.checkpoint()))
         n_bits = self.messages.shape[1]
         return [
             SessionResult(
