@@ -9,11 +9,10 @@ SNR and prints the channel time each needs — the regime where spinal codes
 beat Strider by 2.5x-10x (Figure 8-3).
 """
 
-import time
-
 from repro import AWGNChannel, DecoderParams, SpinalParams, awgn_capacity
 from repro.fountain import RaptorScheme
 from repro.ldpc import ldpc_envelope
+from repro.obs import clock
 from repro.simulation import SpinalScheme, measure_scheme
 from repro.strider import StriderScheme
 
@@ -41,12 +40,12 @@ def main() -> None:
     print(f"{'code':>16} {'rate b/s':>9} {'symbols/packet':>15} {'wall s':>7}")
     results = {}
     for scheme in schemes:
-        start = time.time()
+        start = clock()
         m = measure_scheme(scheme, channel_factory, SNR_DB, N_PACKETS, seed=9)
         results[scheme.name] = m.rate
         per_packet = m.total_symbols / N_PACKETS
         print(f"{scheme.name:>16} {m.rate:>9.2f} {per_packet:>15.0f} "
-              f"{time.time() - start:>7.1f}")
+              f"{clock() - start:>7.1f}")
 
     # LDPC is fixed-rate: the envelope picks the best MCS at this SNR.
     tput, label = ldpc_envelope(SNR_DB, n_blocks=6, iterations=40, seed=9)

@@ -33,7 +33,7 @@ class SpinalRNG:
         output word because one word feeds both I and Q.
     """
 
-    def __init__(self, hash_fn: HashFn | str, c: int):
+    def __init__(self, hash_fn: HashFn | str, c: int) -> None:
         if isinstance(hash_fn, str):
             hash_fn = get_hash(hash_fn)
         if not 1 <= c <= 16:

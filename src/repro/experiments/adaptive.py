@@ -65,8 +65,8 @@ def ratio_half_width(outcomes: list[tuple[int, int]], z: float) -> float:
     """Delta-method half-width of the pooled ``sum(bits)/sum(symbols)``."""
     if len(outcomes) < 2:
         return math.inf
-    bits = np.array([b for b, _ in outcomes], dtype=float)
-    symbols = np.array([s for _, s in outcomes], dtype=float)
+    bits = np.array([b for b, _ in outcomes], dtype=np.float64)
+    symbols = np.array([s for _, s in outcomes], dtype=np.float64)
     mean_symbols = symbols.mean()
     if mean_symbols == 0.0:
         return math.inf

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -123,7 +123,7 @@ def _gap_report(
     name: str,
     title: str,
     snrs: list[float],
-    labelled_curves,
+    labelled_curves: Iterable[tuple[str, dict[float, float]]],
 ) -> None:
     """Gap-to-capacity chart: one series per ``(label, rate curve)`` pair,
     with points only where the measured rate is positive (a zero rate has

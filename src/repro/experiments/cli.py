@@ -23,7 +23,7 @@ from repro.experiments.catalog import (
     catalog_names,
     get_entry,
 )
-from repro.experiments.orchestrator import run_experiment
+from repro.experiments.orchestrator import ExperimentRun, run_experiment
 from repro.experiments.spec import point_hash, spec_hash
 from repro.experiments.store import ResultStore
 from repro.obs import OBS, metrics_payload, render_summary
@@ -95,7 +95,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _accounting_line(run, n_points: int) -> str:
+def _accounting_line(run: ExperimentRun, n_points: int) -> str:
     quarantined = (f", {run.n_quarantined} quarantined"
                    if run.n_quarantined else "")
     return (f"[store] {run.n_cached}/{n_points} points cached, "

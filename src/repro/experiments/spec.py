@@ -92,12 +92,12 @@ def _make_spinal(
     )
 
 
-def _make_raptor(**options) -> RatelessScheme:
+def _make_raptor(**options: object) -> RatelessScheme:
     from repro.fountain import RaptorScheme
     return RaptorScheme(**options)
 
 
-def _make_strider(**options) -> RatelessScheme:
+def _make_strider(**options: object) -> RatelessScheme:
     from repro.strider import StriderScheme
     return StriderScheme(**options)
 
@@ -145,7 +145,7 @@ class ChannelSpec:
     kind: str
     options: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         channel_family(self.kind)  # fail at spec-build time, not in workers
 
     def as_dict(self) -> dict:
@@ -188,7 +188,7 @@ class AdaptivePolicy:
     max_messages: int = 512
     interval: str = "mean"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.target_half_width <= 0:
             raise ValueError("target_half_width must be > 0")
         if self.initial_messages < 2:
@@ -260,7 +260,7 @@ class PointSpec:
     adaptive: AdaptivePolicy | None = None
     options: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind == "measure" and (
                 self.scheme is None or self.channel is None):
             raise ValueError("measure points need a scheme and a channel")
@@ -336,7 +336,7 @@ class ExperimentSpec:
         return seen
 
 
-def _digest(payload) -> str:
+def _digest(payload: object) -> str:
     return hashlib.sha256(
         canonical_json(payload).encode("utf-8")).hexdigest()[:16]
 

@@ -46,7 +46,7 @@ class ResultStore:
     logs, not only as Python warnings.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
         self.n_quarantined = 0
 

@@ -1,0 +1,40 @@
+"""AST-based determinism and reproducibility linter.
+
+The repo's headline guarantees — byte-identical store files, worker-count
+invariant sweeps, batch == scalar decode — rest on source-level invariants
+that a ``grep`` cannot see through an import alias:
+
+- no wall-clock reads outside :mod:`repro.obs` (``no-wallclock``),
+- no ``PYTHONHASHSEED``-dependent seeding via builtin ``hash()``
+  (``no-builtin-hash`` — the fig8_10 incident class),
+- no unseeded or global-state RNG in library code (``no-unseeded-rng``),
+- no function that both accepts and independently constructs a
+  ``Generator`` (``rng-stream-discipline``),
+- no order-nondeterministic serialization: set iteration, unsorted
+  directory listings, ``json.dumps`` without ``sort_keys``
+  (``canonical-serialization``),
+- no width-ambiguous dtypes or mixed ``math.fsum``/``sum`` accumulation
+  in cost code (``no-float-env-drift``).
+
+:mod:`repro.lint.engine` provides the visitor framework (import/alias
+resolution, per-line ``# repro: disable=<rule>`` suppressions with
+unused-suppression detection); :mod:`repro.lint.rules` the rules;
+:mod:`repro.lint.config` the per-directory policies (``obs/`` may read
+the clock, ``tests/`` may time, benchmarks may not); and
+``python -m repro.lint`` the CLI with text and JSON output.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, Policy, rules_for
+from repro.lint.engine import Finding, Linter, LintReport
+from repro.lint.rules import RULES
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Linter",
+    "Policy",
+    "RULES",
+    "rules_for",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro.lint`` — run the determinism rules over the tree.
+
+Exit status is 0 when every checked file is clean and 1 when any finding
+survives suppression, so CI can gate on it directly (it replaced the old
+``grep``-based wall-clock check).  ``--json`` prints the machine-readable
+report to stdout; ``--output`` additionally writes it to a file (the CI
+failure artifact) regardless of the stdout format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.engine import Linter, LintReport
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def _list_rules() -> int:
+    width = max(len(rule_id) for rule_id in RULES)
+    print("rules:")
+    for rule_id in sorted(RULES):
+        print(f"  {rule_id:<{width}}  {RULES[rule_id].description}")
+    print("\nsuppression syntax:  # repro: disable=<rule-id>[,<rule-id>...]")
+    print("\ndirectory policies (longest prefix wins; unmatched paths get "
+          "every rule):")
+    for policy in DEFAULT_CONFIG.policies:
+        disabled = ", ".join(sorted(policy.disable)) or "(none disabled)"
+        print(f"  {policy.prefix}: {disabled}")
+        print(f"      {policy.note}")
+    return 0
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.n_files} file(s)"
+        if report.findings
+        else f"ok: {report.n_files} file(s) clean")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism/reproducibility linter "
+                    "(see --list-rules for the rule table and directory "
+                    "policies)")
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the findings report as JSON instead of text")
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (written on success and "
+             "failure; CI uploads it as the findings artifact)")
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="run exactly these rule ids, ignoring directory policies")
+    parser.add_argument(
+        "--root", default=None,
+        help="base directory policies resolve against (default: cwd)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table, suppression syntax, and directory "
+             "policies, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    forced = None
+    if args.rules is not None:
+        forced = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = forced - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                         "see --list-rules")
+
+    linter = Linter(rules=forced, root=args.root)
+    report = linter.lint_paths(args.paths)
+    payload = report.as_dict()
+
+    if args.output:
+        parent = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(_render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Per-directory rule policies: which rules apply where, and why.
+
+The default is maximal: every checkable rule plus ``unused-suppression``
+applies to any path no policy matches (so seeding a violation into a
+scratch file anywhere fails the lint).  Policies then *subtract* rules
+for directories whose job makes a rule wrong, each with a recorded
+reason — policy lives here, in code review's view, not in scattered
+inline exemptions:
+
+- ``src/repro/obs`` may read the wall clock: it *owns* the clock
+  (``repro.obs.clock``), and keeping every other directory wallclock-free
+  is exactly what makes metrics provably out-of-band.
+- ``benchmarks`` gets **no** timing exemption — this is the recorded
+  benchmarks-directory policy: benchmark wall time is measured through
+  ``repro.obs.clock`` like library code, so BENCH JSON artifacts stay
+  comparable and the timing primitive stays singular.  (Before this
+  package, ``bench_decoder_throughput.py`` used ``time.perf_counter``
+  under an ad-hoc grep exclusion.)
+- ``tests`` may time and use ad-hoc randomness locally: the suite
+  *asserts* library determinism, it does not need to be deterministic
+  itself (hypothesis, timing-tolerance checks).
+- ``tests/lint_fixtures`` is the deliberate-violation corpus; it is
+  linted only with explicit rule sets by ``tests/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.lint.rules import checkable_rule_ids
+
+__all__ = ["DEFAULT_CONFIG", "LintConfig", "Policy", "rules_for"]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Rules subtracted for one directory subtree, with the reason why."""
+
+    prefix: str                    # repo-relative, forward slashes
+    disable: frozenset[str]
+    note: str
+
+    def matches(self, rel_path: str) -> bool:
+        return rel_path == self.prefix or rel_path.startswith(
+            self.prefix + "/")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Ordered policies; the longest matching prefix wins."""
+
+    policies: tuple[Policy, ...] = ()
+    base_disable: frozenset[str] = field(default_factory=frozenset)
+
+    def policy_for(self, rel_path: str) -> Policy | None:
+        rel = rel_path.replace(os.sep, "/")
+        while rel.startswith("./"):
+            rel = rel[2:]
+        best: Policy | None = None
+        for policy in self.policies:
+            if policy.matches(rel) and (
+                    best is None or len(policy.prefix) > len(best.prefix)):
+                best = policy
+        return best
+
+    def rules_for(self, rel_path: str) -> frozenset[str]:
+        policy = self.policy_for(rel_path)
+        disable = policy.disable if policy is not None else self.base_disable
+        return (checkable_rule_ids() | {"unused-suppression"}) - disable
+
+
+DEFAULT_CONFIG = LintConfig(policies=(
+    Policy(
+        prefix="src/repro/obs",
+        disable=frozenset({"no-wallclock"}),
+        note=("obs owns the clock: repro.obs.clock is the one sanctioned "
+              "wall-clock read, which is what keeps metrics out-of-band "
+              "everywhere else"),
+    ),
+    Policy(
+        prefix="benchmarks",
+        disable=frozenset(),
+        note=("benchmarks-directory policy: wall time is measured through "
+              "repro.obs.clock like library code — a recorded policy, not "
+              "an ad-hoc exemption; BENCH JSON stays comparable across "
+              "hosts and the timing primitive stays singular"),
+    ),
+    Policy(
+        prefix="examples",
+        disable=frozenset(),
+        note="examples are library clients and follow library rules",
+    ),
+    Policy(
+        prefix="tests",
+        disable=frozenset({
+            "no-wallclock", "no-unseeded-rng",
+            "no-float-env-drift", "canonical-serialization",
+        }),
+        note=("tests assert library determinism but may time, randomize, "
+              "and build loose-dtype fixtures locally — including "
+              "deliberately non-canonical store files (the quarantine "
+              "tests) that the serialization rule would flag"),
+    ),
+    Policy(
+        prefix="tests/lint_fixtures",
+        disable=checkable_rule_ids() | frozenset({"unused-suppression"}),
+        note=("deliberate-violation corpus, linted with explicit rule "
+              "sets by tests/test_lint.py"),
+    ),
+))
+
+
+def rules_for(rel_path: str) -> frozenset[str]:
+    """Enabled rules for a repo-relative path under the default config."""
+    return DEFAULT_CONFIG.rules_for(rel_path)

@@ -1,0 +1,333 @@
+"""Rule engine: parse once, resolve imports, run rules, apply suppressions.
+
+The engine gives every rule the same three ingredients so each rule stays
+a ~20-line check instead of its own mini-parser:
+
+- **Alias-resolved call names.**  ``ModuleContext.resolve`` maps any
+  ``Name``/``Attribute`` chain back through the module's imports to a
+  fully-qualified dotted name, so ``import time as t; t.time()``,
+  ``from time import perf_counter as pc; pc()`` and
+  ``from datetime import datetime; datetime.now()`` all resolve to the
+  ``time.*`` / ``datetime.*`` names a rule matches on — the aliased forms
+  the old CI ``grep`` was blind to.
+- **Bound-name awareness.**  ``ModuleContext.bound_names`` holds every
+  name the module ever binds (assignments, parameters, imports, defs), so
+  a rule matching a builtin (``hash``, ``sum``) can stand down when the
+  module shadows it.
+- **Parent links.**  ``ModuleContext.parent`` lets a rule look outward
+  (is this ``os.listdir`` call wrapped in ``sorted(...)``?) without
+  threading state through a visitor.
+
+Suppressions are per-line comments — ``# repro: disable=rule-a,rule-b`` —
+and must actually suppress something: a disable comment whose named rule
+produced no finding on that line (or is not enabled for that directory)
+is itself reported as ``unused-suppression``, so stale exemptions cannot
+accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.config import LintConfig
+
+__all__ = ["Finding", "Linter", "LintReport", "ModuleContext"]
+
+#: Schema version of the JSON report (bump on incompatible change).
+REPORT_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", "bench_results", ".venv"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Name -> fully-qualified dotted target, from every import statement.
+
+    Imports are collected from all scopes (a function-local
+    ``import time`` hides from a module-level-only pass).  Relative
+    imports keep their leading dots, which no rule's target set matches —
+    intra-package names are never what these rules police.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    # ``import numpy.random`` binds the name ``numpy``
+                    root = a.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{module}.{a.name}"
+    return aliases
+
+
+def _collect_bound_names(tree: ast.Module) -> frozenset[str]:
+    """Every name the module binds anywhere (any scope).
+
+    Used to decide whether a bare builtin call (``hash``, ``sum``) could
+    refer to a local rebinding instead of the builtin.  Deliberately
+    scope-insensitive: one rebinding anywhere exempts the whole module,
+    which errs on the quiet side and stays trivially deterministic.
+    """
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                bound.add(arg.arg)
+            if args.vararg:
+                bound.add(args.vararg.arg)
+            if args.kwarg:
+                bound.add(args.kwarg.arg)
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                bound.add(a.asname or a.name.split(".")[0])
+    return frozenset(bound)
+
+
+class ModuleContext:
+    """Everything a rule needs about one parsed module."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str):
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+        self.aliases = _collect_aliases(tree)
+        self.bound_names = _collect_bound_names(tree)
+        self._all_nodes = list(ast.walk(tree))
+        self._parents: dict[int, ast.AST] = {}
+        for node in self._all_nodes:
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+
+    def nodes(self, *types: type) -> Iterator[ast.AST]:
+        """All nodes of the given AST types, in document order."""
+        for node in self._all_nodes:
+            if isinstance(node, types):
+                yield node
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of a Name/Attribute chain, if the
+        chain is rooted in an imported name; ``None`` otherwise."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        target = self.aliases.get(node.id)
+        if target is None:
+            return None
+        parts.append(target)
+        return ".".join(reversed(parts))
+
+    def call_name(self, call: ast.Call) -> str | None:
+        """Resolved dotted name of a call's callee (alias-aware)."""
+        return self.resolve(call.func)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """``line number -> rule ids`` named by ``# repro: disable=`` comments.
+
+    Tokenized, not regex-over-lines, so the marker only counts inside a
+    real comment — a docstring *describing* the syntax is not a
+    suppression.
+    """
+    out: dict[int, frozenset[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                names = frozenset(
+                    part.strip() for part in m.group(1).split(",")
+                    if part.strip())
+                if names:
+                    out[tok.start[0]] = names
+    except tokenize.TokenError:  # pragma: no cover - parse already failed
+        pass
+    return out
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of linting a set of paths."""
+
+    findings: tuple[Finding, ...]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "n_files": self.n_files,
+            "n_findings": len(self.findings),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories to a sorted, deterministic .py file list."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in _SKIP_DIRS and not d.startswith("."))
+                out.extend(os.path.join(dirpath, f)
+                           for f in sorted(filenames) if f.endswith(".py"))
+        else:
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+class Linter:
+    """Run the configured rules over files, applying per-line suppressions.
+
+    ``rules`` forces an explicit rule set (the fixture tests' mode);
+    ``None`` consults the per-directory policies in ``config`` for each
+    file, resolved against ``root`` (default: the current directory —
+    run from the repo root, as CI does).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[str] | None = None,
+        config: "LintConfig | None" = None,
+        root: str | None = None,
+    ):
+        from repro.lint.config import DEFAULT_CONFIG
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.forced_rules = None if rules is None else frozenset(rules)
+        self.root = os.path.abspath(root or os.getcwd())
+
+    def rules_for(self, path: str) -> frozenset[str]:
+        if self.forced_rules is not None:
+            return self.forced_rules
+        rel = os.path.relpath(os.path.abspath(path), self.root)
+        return self.config.rules_for(rel)
+
+    def _display_path(self, path: str) -> str:
+        rel = os.path.relpath(os.path.abspath(path), self.root)
+        return path if rel.startswith("..") else rel
+
+    def lint_file(self, path: str) -> list[Finding]:
+        enabled = self.rules_for(path)
+        display = self._display_path(path)
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding("parse-error", display, exc.lineno or 1,
+                            exc.offset or 0,
+                            f"file does not parse: {exc.msg}")]
+
+        from repro.lint.rules import RULES
+        ctx = ModuleContext(display, tree, source)
+        raw: list[Finding] = []
+        for rule_id in sorted(enabled):
+            rule = RULES.get(rule_id)
+            if rule is not None and rule.checkable:
+                raw.extend(rule.run(ctx))
+
+        suppressions = parse_suppressions(source)
+        kept: list[Finding] = []
+        used: set[tuple[int, str]] = set()
+        for finding in raw:
+            names = suppressions.get(finding.line, frozenset())
+            if finding.rule in names:
+                used.add((finding.line, finding.rule))
+            else:
+                kept.append(finding)
+
+        if "unused-suppression" in enabled:
+            for lineno in sorted(suppressions):
+                for name in sorted(suppressions[lineno]):
+                    if (lineno, name) in used:
+                        continue
+                    if name not in RULES:
+                        message = (f"suppression names unknown rule "
+                                   f"{name!r}")
+                    elif name not in enabled:
+                        message = (f"suppression for {name!r} is dead: the "
+                                   "rule is not enabled for this directory "
+                                   "(see repro.lint.config policies)")
+                    else:
+                        message = (f"suppression for {name!r} suppresses "
+                                   "nothing on this line")
+                    kept.append(Finding(
+                        "unused-suppression", display, lineno, 0, message,
+                        hint="remove the stale `# repro: disable` comment"))
+
+        return sorted(kept, key=lambda f: (f.line, f.col, f.rule))
+
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        files = iter_python_files(paths)
+        findings: list[Finding] = []
+        for path in files:
+            findings.extend(self.lint_file(path))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return LintReport(findings=tuple(findings), n_files=len(files))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+from typing import TextIO
 
 __all__ = ["EventSink"]
 
@@ -28,14 +29,16 @@ __all__ = ["EventSink"]
 class EventSink:
     """Append-only JSONL writer (one JSON object per line)."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = os.path.abspath(path)
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh: TextIO | None = open(self.path, "a", encoding="utf-8")
 
     def write(self, payload: dict) -> None:
+        if self._fh is None:
+            raise ValueError("EventSink is closed")
         self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
         self._fh.flush()
 

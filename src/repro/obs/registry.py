@@ -21,15 +21,20 @@ that hold:
   and allocates nothing per symbol.
 
 All wall-clock reads in the repository go through this module's
-:data:`clock` (re-exported by :mod:`repro.obs`): CI greps ``src/repro``
-for ad-hoc ``time.time()`` / ``perf_counter`` use outside ``obs/`` so
-timing can never leak into simulation logic.
+:data:`clock` (re-exported by :mod:`repro.obs`): the ``no-wallclock``
+rule in :mod:`repro.lint` flags ad-hoc ``time.time()`` / ``perf_counter``
+use outside ``obs/`` (enforced in CI), so timing can never leak into
+simulation logic.
 """
 
 from __future__ import annotations
 
 import os
 from time import perf_counter as clock
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import EventSink
 
 __all__ = ["Observability", "TimeStat", "OBS", "clock"]
 
@@ -45,7 +50,7 @@ class TimeStat:
 
     __slots__ = ("n", "total", "min", "max")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.n = 0
         self.total = 0.0
         self.min: float | None = None
@@ -93,10 +98,10 @@ class _NullContext:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullContext":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -108,15 +113,16 @@ class _Timer:
 
     __slots__ = ("_obs", "_name", "_t0")
 
-    def __init__(self, obs: "Observability", name: str):
+    def __init__(self, obs: "Observability", name: str) -> None:
         self._obs = obs
         self._name = name
+        self._t0 = 0.0
 
-    def __enter__(self):
+    def __enter__(self) -> "_Timer":
         self._t0 = clock()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self._obs._observe(self._name, clock() - self._t0)
         return False
 
@@ -126,11 +132,11 @@ class _Span(_Timer):
 
     __slots__ = ("_attrs",)
 
-    def __init__(self, obs: "Observability", name: str, attrs: dict):
+    def __init__(self, obs: "Observability", name: str, attrs: dict) -> None:
         super().__init__(obs, name)
         self._attrs = attrs
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         dt = clock() - self._t0
         self._obs._observe(self._name, dt)
         self._obs._emit({"ev": "span", "name": self._name,
@@ -151,12 +157,12 @@ class Observability:
     registry of its own whose snapshot the parent later merges.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.enabled = False
         self.owner_pid: int | None = None
         self._counters: dict[str, int] = {}
         self._times: dict[str, TimeStat] = {}
-        self._sink = None  # repro.obs.events.EventSink | None
+        self._sink: "EventSink | None" = None
         self._t_enabled = 0.0
 
     # -- lifecycle ---------------------------------------------------------
@@ -227,13 +233,13 @@ class Observability:
             stat = self._times[name] = TimeStat()
         stat.add_bulk(seconds, calls)
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> "_NullContext | _Timer":
         """Context manager timing a block (cached no-op while disabled)."""
         if not self.enabled:
             return _NULL_CONTEXT
         return _Timer(self, name)
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> "_NullContext | _Timer":
         """Like :meth:`timer`, but also emits a JSONL span event."""
         if not self.enabled:
             return _NULL_CONTEXT
@@ -244,7 +250,7 @@ class Observability:
             payload.setdefault("t_s", clock() - self._t_enabled)
             self._sink.write(payload)
 
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: object) -> None:
         """Emit one JSONL event (and count it).  No-op while disabled.
 
         Hot call sites should guard with ``if OBS.enabled:`` so the

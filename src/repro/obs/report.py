@@ -101,7 +101,7 @@ def render_summary(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
-def metrics_payload(snapshot: dict, **extra) -> dict:
+def metrics_payload(snapshot: dict, **extra: object) -> dict:
     """The ``bench_results/<name>.metrics.json`` artifact payload.
 
     Carries the raw snapshot plus the derived kernel breakdown, so CI

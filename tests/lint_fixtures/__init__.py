@@ -1,0 +1,9 @@
+"""Deliberate-violation corpus for :mod:`repro.lint`.
+
+Each ``<rule>_bad.py`` seeds violations the matching rule must report
+(with known line numbers, asserted by ``tests/test_lint.py``); each
+``<rule>_ok.py`` is the compliant twin the rule must stay silent on.
+These files are never imported — the linter parses them as text — and
+the default directory policy disables every rule here so a full-tree
+lint stays clean (see ``repro.lint.config``).
+"""

@@ -1,0 +1,5 @@
+"""no-builtin-hash positive: the fig8_10 seeding bug, verbatim shape."""
+
+
+def seed_for(sched):
+    return hash(sched) % 1000

@@ -1,0 +1,13 @@
+"""no-builtin-hash negatives: digests, and a shadowed local `hash`."""
+
+import hashlib
+
+
+def seed_for(sched):
+    digest = hashlib.sha256(str(sched).encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % 1000
+
+
+def apply(hash, value):
+    # `hash` is a parameter here, not the builtin
+    return hash(value)

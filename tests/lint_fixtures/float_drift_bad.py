@@ -1,0 +1,13 @@
+"""no-float-env-drift positives: implicit widths and mixed accumulation."""
+
+import math
+
+import numpy as np
+
+
+def costs(values):
+    arr = np.asarray(values, dtype=float)   # implicit width
+    head = arr[:2].astype(float)            # implicit width
+    exact = math.fsum(values)
+    rough = sum(values)                     # mixed with fsum above
+    return arr, head, exact, rough

@@ -1,0 +1,12 @@
+"""no-float-env-drift negatives: explicit widths, one accumulator."""
+
+import math
+
+import numpy as np
+
+
+def costs(values):
+    arr = np.asarray(values, dtype=np.float64)
+    head = arr[:2].astype(np.float64)
+    exact = math.fsum(values)
+    return arr, head, exact

@@ -1,0 +1,14 @@
+"""canonical-serialization positives: order-nondeterministic output."""
+
+import glob
+import json
+import os
+
+
+def manifest(root, items):
+    files = os.listdir(root)          # filesystem order
+    extra = glob.glob("*.json")       # filesystem order
+    labels = []
+    for item in set(items):           # hash order
+        labels.append(str(item))
+    return json.dumps({"files": files, "extra": extra, "labels": labels})

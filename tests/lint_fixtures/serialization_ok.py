@@ -1,0 +1,15 @@
+"""canonical-serialization negatives: everything sorted, keys canonical."""
+
+import glob
+import json
+import os
+
+
+def manifest(root, items):
+    files = sorted(os.listdir(root))
+    extra = sorted(glob.glob("*.json"))
+    labels = []
+    for item in sorted(set(items)):
+        labels.append(str(item))
+    return json.dumps(
+        {"files": files, "extra": extra, "labels": labels}, sort_keys=True)

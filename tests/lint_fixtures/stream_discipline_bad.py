@@ -1,0 +1,8 @@
+"""rng-stream-discipline positive: accepts an rng, builds another."""
+
+import numpy as np
+
+
+def measure(rng, n):
+    local = np.random.default_rng(0)   # ignores the caller's stream
+    return [local.integers(0, 10) for _ in range(n)] + [rng.integers(0, 10)]

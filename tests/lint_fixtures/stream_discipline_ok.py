@@ -1,0 +1,24 @@
+"""rng-stream-discipline negatives: coercion, splitting, seed-taking."""
+
+import numpy as np
+
+
+def coerce(rng=None):
+    # seed-or-Generator coercion derives from the passed value
+    return np.random.default_rng(rng)
+
+
+def split(rng):
+    # child stream drawn from the caller's generator
+    return np.random.default_rng(rng.integers(0, 2**63))
+
+
+def fresh(seed):
+    # no rng parameter: constructing from a seed is the normal case
+    master = np.random.default_rng(seed)
+
+    def sample(rng, n):
+        # nested function's rng param must not taint the outer scope
+        return rng.integers(0, n)
+
+    return master, sample

@@ -1,0 +1,5 @@
+"""A suppression with nothing to suppress: itself a finding."""
+
+
+def nothing():
+    return 1  # repro: disable=no-wallclock

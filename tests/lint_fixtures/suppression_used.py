@@ -1,0 +1,7 @@
+"""A suppression that genuinely waives a finding (not reported)."""
+
+import time
+
+
+def wall():
+    return time.time()  # repro: disable=no-wallclock

@@ -1,0 +1,12 @@
+"""no-unseeded-rng positives: OS-entropy seeding and global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def draw(n):
+    rng = np.random.default_rng()      # unseeded: differs every run
+    noise = np.random.standard_normal(n)  # legacy global state
+    jitter = random.random()           # stdlib global state
+    return rng, noise, jitter

@@ -1,0 +1,12 @@
+"""no-unseeded-rng negatives: explicit seeds and explicit generators."""
+
+import random
+
+import numpy as np
+
+
+def draw(n, seed):
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal(n)
+    local = random.Random(1234)
+    return rng, noise, local.random()

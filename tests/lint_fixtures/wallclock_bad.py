@@ -1,0 +1,12 @@
+"""no-wallclock positives: the aliased forms the old grep never saw."""
+
+import time as _t
+from time import perf_counter as pc
+from datetime import datetime
+
+
+def stamp():
+    a = _t.time()          # aliased module import
+    b = pc()               # aliased from-import
+    c = datetime.now()     # from-imported class method
+    return a, b, c

@@ -1,0 +1,8 @@
+"""no-wallclock negative: timing through the sanctioned primitive."""
+
+from repro.obs import clock
+
+
+def stamp():
+    start = clock()
+    return clock() - start
