@@ -21,10 +21,13 @@ Every engine pair produces the *same* :class:`RateMeasurement` (asserted),
 so this is a pure speed comparison.  Note the scalar store rewrite is
 roughly speed-neutral on its own (decode arithmetic dominates a scalar
 session); its payoff is the checkpointed prefix views the batch pipeline
-is built on, which is where the required >= 3x comes from.  Writes
-``bench_results/BENCH_decoder_throughput.json`` including the speedups;
-CI runs ``--quick`` and uploads the JSON so decode-path regressions are
-visible per PR.
+is built on.  Writes ``bench_results/BENCH_decoder_throughput.json``
+including the speedups and records it into the bench history
+(``bench_results/history/``); regression gating lives in
+``python -m repro.obs.perf compare`` — noise-aware thresholds against
+the committed baselines replaced the old hand-tuned ``--min-speedup`` /
+``--min-fading-speedup`` flags, so CI runs ``--quick`` here and gates in
+a separate step.
 """
 
 import argparse
@@ -220,11 +223,6 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
                     help="small message count (the CI smoke profile)")
-    ap.add_argument("--min-speedup", type=float, default=3.0,
-                    help="fail below this batch-vs-rebuild ratio (CI uses a "
-                         "lower bar to absorb shared-runner timing noise)")
-    ap.add_argument("--min-fading-speedup", type=float, default=2.0,
-                    help="fail below this fading batch-vs-scalar ratio")
     args = ap.parse_args(argv)
 
     payload = run(quick=args.quick)
@@ -232,18 +230,12 @@ def main(argv=None) -> int:
         print(f"{key}: {value}")
     write_json("BENCH_decoder_throughput", payload)
 
-    speedup = payload["speedup_batch_vs_scalar_rebuild"]
-    if speedup < args.min_speedup:
-        print(f"FAIL: batch speedup {speedup}x < {args.min_speedup}x "
-              "over the pre-batch loop")
-        return 1
-    fading = payload["fading_speedup_batch_vs_scalar"]
-    if fading < args.min_fading_speedup:
-        print(f"FAIL: fading batch speedup {fading}x < "
-              f"{args.min_fading_speedup}x over the scalar engine")
-        return 1
-    print(f"ok: batch path {speedup}x over the per-attempt-rebuild loop, "
-          f"fading batch {fading}x over scalar")
+    # Regression gating moved to `python -m repro.obs.perf compare`:
+    # write_json recorded this run into the bench history, which the gate
+    # judges against the committed baselines with noise-aware thresholds.
+    print(f"ok: batch path {payload['speedup_batch_vs_scalar_rebuild']}x "
+          f"over the per-attempt-rebuild loop, fading batch "
+          f"{payload['fading_speedup_batch_vs_scalar']}x over scalar")
     return 0
 
 

@@ -1171,17 +1171,24 @@ def _report_link_goodput(run: ExperimentRun, results_dir: str) -> dict:
         for s, batch in zip(series, (oracle, framed, delayed)):
             s.add(snr, batch[i]["goodput"])
     _finish(result, results_dir)
+    payload = {
+        "experiment": "link_goodput",
+        "feedback_delay": _LINK_FEEDBACK_DELAY,
+        "snrs_db": [float(s) for s in snrs],
+        "oracle_session_rate": {f"{s:g}": reference[s] for s in snrs},
+        "oracle": oracle,
+        "framed": framed,
+        "framed_delayed": delayed,
+    }
     path = write_canonical_json(
-        os.path.join(results_dir, "BENCH_link_goodput.json"), {
-            "experiment": "link_goodput",
-            "feedback_delay": _LINK_FEEDBACK_DELAY,
-            "snrs_db": [float(s) for s in snrs],
-            "oracle_session_rate": {f"{s:g}": reference[s] for s in snrs},
-            "oracle": oracle,
-            "framed": framed,
-            "framed_delayed": delayed,
-        })
+        os.path.join(results_dir, "BENCH_link_goodput.json"), payload)
     print(f"[json] {path}")
+    # record the (deterministic) goodput metrics into the bench history so
+    # the perf CLI tracks the link trajectory alongside the timed suites
+    from repro.obs.perf import record_bench
+    record_bench("link_goodput", payload,
+                 os.path.join(results_dir, "history"),
+                 source="BENCH_link_goodput.json")
     return {"snrs": snrs, "reference": reference,
             "oracle": oracle, "framed": framed, "delayed": delayed}
 

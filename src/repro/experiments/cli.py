@@ -76,7 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "<results-dir>/<name>.metrics.json")
         p.add_argument("--metrics-jsonl", metavar="PATH", default=None,
                        help="also stream span/link trace events to a "
-                            "JSONL file (implies --metrics)")
+                            "JSONL file (implies --metrics; missing "
+                            "parent directories are created)")
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome/Perfetto trace.json of the "
+                            "run's span/event stream (implies --metrics; "
+                            "open at ui.perfetto.dev)")
 
     p = sub.add_parser("show", help="print an experiment's spec and "
                                     "store status")
@@ -108,9 +113,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     if args.fresh and store.discard(spec):
         print(f"[store] discarded {store.path_for(spec)}")
-    metrics = args.metrics or args.metrics_jsonl is not None
+    metrics = (args.metrics or args.metrics_jsonl is not None
+               or args.trace_out is not None)
+    jsonl_path = args.metrics_jsonl
+    if args.trace_out is not None and jsonl_path is None:
+        # the trace is converted from the JSONL stream; keep the raw
+        # stream next to the trace for inspection
+        jsonl_path = os.path.splitext(args.trace_out)[0] + ".events.jsonl"
     if metrics:
-        OBS.enable(jsonl_path=args.metrics_jsonl)
+        OBS.enable(jsonl_path=jsonl_path)
     try:
         run = run_experiment(spec, store=store, n_workers=args.workers,
                              progress=lambda msg: print(msg, file=sys.stderr))
@@ -136,6 +147,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if metrics:
             OBS.disable()
             OBS.reset()
+    if args.trace_out is not None:
+        from repro.obs.perf.trace import export_trace
+        info = export_trace(jsonl_path, args.trace_out)
+        print(f"[trace] {info['path']} ({info['n_slices']} slices, "
+              f"{info['n_lanes']} lane(s)); open at https://ui.perfetto.dev")
     if args.expect_cached and run.n_computed > 0:
         print(f"[store] FAIL: expected a full store hit but "
               f"{run.n_computed} points were simulated:", file=sys.stderr)

@@ -162,7 +162,7 @@ def run_point(point: PointSpec) -> dict:
     return record
 
 
-def _run_point_inline(point: PointSpec) -> tuple[dict, dict | None]:
+def _run_point_inline(point: PointSpec) -> tuple[dict, dict | None, float, int]:
     """Metrics-enabled point job executed in the orchestrating process.
 
     Kernel timers land directly in the live registry; only the per-point
@@ -171,11 +171,12 @@ def _run_point_inline(point: PointSpec) -> tuple[dict, dict | None]:
     """
     t0 = clock()
     record = run_point(point)
-    OBS.add_time("point.wall", clock() - t0)
-    return record, None
+    dt = clock() - t0
+    OBS.add_time("point.wall", dt)
+    return record, None, dt, os.getpid()
 
 
-def _run_point_measured(point: PointSpec) -> tuple[dict, dict | None]:
+def _run_point_measured(point: PointSpec) -> tuple[dict, dict | None, float, int]:
     """Metrics-enabled point job executed in a pool worker process.
 
     A forked worker inherits the parent's enabled registry (and its event
@@ -190,8 +191,9 @@ def _run_point_measured(point: PointSpec) -> tuple[dict, dict | None]:
         OBS.adopt()
     t0 = clock()
     record = run_point(point)
-    OBS.add_time("point.wall", clock() - t0)
-    return record, OBS.drain()
+    dt = clock() - t0
+    OBS.add_time("point.wall", dt)
+    return record, OBS.drain(), dt, os.getpid()
 
 
 @dataclass
@@ -287,9 +289,15 @@ def run_experiment(
                 missing,
                 imap_jobs(job_fn, [p for _, p in missing], n_workers)):
             if measured:
-                record, worker_snapshot = outcome
+                record, worker_snapshot, wall_s, worker_pid = outcome
                 if worker_snapshot is not None:
                     OBS.merge(worker_snapshot)
+                # one event per completed point, emitted by the (sink-
+                # owning) parent on receipt: the worker's pid and wall
+                # time give the trace exporter a lane per worker process
+                OBS.event("point.done", series=point.series,
+                          x=float(point.x), kind=point.kind,
+                          dt_s=wall_s, worker_pid=worker_pid)
             else:
                 record = outcome
             results[h] = record

@@ -33,13 +33,19 @@ timing never leaks into simulation logic.
 
 from repro.obs.events import EventSink
 from repro.obs.registry import OBS, Observability, TimeStat, clock
-from repro.obs.report import kernel_breakdown, metrics_payload, render_summary
+from repro.obs.report import (
+    METRICS_SCHEMA_VERSION,
+    kernel_breakdown,
+    metrics_payload,
+    render_summary,
+)
 
 __all__ = [
     "OBS",
     "Observability",
     "TimeStat",
     "EventSink",
+    "METRICS_SCHEMA_VERSION",
     "clock",
     "kernel_breakdown",
     "metrics_payload",

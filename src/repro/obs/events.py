@@ -15,6 +15,13 @@ readable even if the process dies mid-run.  The sink is deliberately
 parent-process-only: forked workers drop the inherited reference
 (:meth:`repro.obs.registry.Observability.adopt`) so concurrent processes
 never interleave writes into one file.
+
+The first line of every sink session is a ``meta`` event stamping the
+stream's :data:`SCHEMA_VERSION` and the writing process's pid, so
+consumers (the Perfetto exporter, external tooling) can evolve safely
+and map the stream onto its owning process.  Bump the version whenever
+an existing event's fields change meaning; adding new event kinds is
+backward-compatible and needs no bump.
 """
 
 from __future__ import annotations
@@ -23,7 +30,10 @@ import json
 import os
 from typing import TextIO
 
-__all__ = ["EventSink"]
+__all__ = ["EventSink", "SCHEMA_VERSION"]
+
+#: Version of the JSONL event stream's schema (see module docstring).
+SCHEMA_VERSION = 1
 
 
 class EventSink:
@@ -35,6 +45,8 @@ class EventSink:
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._fh: TextIO | None = open(self.path, "a", encoding="utf-8")
+        self.write({"ev": "meta", "schema_version": SCHEMA_VERSION,
+                    "pid": os.getpid()})
 
     def write(self, payload: dict) -> None:
         if self._fh is None:

@@ -1,0 +1,53 @@
+"""``repro.obs.perf`` — the performance-trajectory layer.
+
+Three instruments over the observability registry:
+
+- :mod:`repro.obs.perf.history` — append-only, machine-fingerprinted
+  bench history (``bench_results/history/BENCH_history.jsonl``) plus the
+  committed per-suite baselines every ``BENCH_*.json`` emitter records
+  into;
+- :mod:`repro.obs.perf.compare` — noise-aware regression gates with
+  per-kernel attribution (``python -m repro.obs.perf compare`` is the CI
+  bench gate);
+- :mod:`repro.obs.perf.trace` — Chrome/Perfetto trace export from the
+  JSONL span/event stream (``--trace-out`` on the experiments CLI).
+"""
+
+from repro.obs.perf.compare import (
+    CompareOptions,
+    MetricComparison,
+    SuiteComparison,
+    attribute_regressions,
+    compare_all,
+    compare_suite,
+    render_comparison,
+)
+from repro.obs.perf.history import (
+    BenchHistory,
+    Metric,
+    fingerprint_id,
+    machine_fingerprint,
+    normalize_payload,
+    record_bench,
+    suite_from_filename,
+)
+from repro.obs.perf.trace import export_trace, trace_from_events
+
+__all__ = [
+    "BenchHistory",
+    "CompareOptions",
+    "Metric",
+    "MetricComparison",
+    "SuiteComparison",
+    "attribute_regressions",
+    "compare_all",
+    "compare_suite",
+    "export_trace",
+    "fingerprint_id",
+    "machine_fingerprint",
+    "normalize_payload",
+    "record_bench",
+    "render_comparison",
+    "suite_from_filename",
+    "trace_from_events",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.obs.perf``."""
+
+import sys
+
+from repro.obs.perf.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

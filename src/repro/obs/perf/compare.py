@@ -1,0 +1,369 @@
+"""Noise-aware bench comparison with per-kernel attribution.
+
+``compare_suite`` judges one suite's latest history record against its
+baseline, metric by metric:
+
+- the *worsening* of a metric is its relative change oriented so positive
+  is bad (throughput down, kernel seconds up);
+- the gate threshold is ``max(rel_tol, noise_sigmas * rel_noise)`` where
+  ``rel_noise`` combines the recorded per-round stddevs of both sides
+  (pytest-benchmark suites) with a cross-record estimate from recent
+  same-fingerprint history — so a noisy kernel needs a bigger move to
+  fail than a quiet one, and nothing gates below the noise floor
+  ``rel_tol``;
+- when baseline and current fingerprints differ, absolute metrics are
+  *flagged*, never gated: numbers from two machines are not comparable.
+  Machine-free metrics (speedup ratios, deterministic goodput) still
+  gate, against the looser ``ratio_tol`` — this is what lets a CI runner
+  gate against a baseline recorded elsewhere.
+
+``attribute_regressions`` then maps decode-path regressions onto the
+three kernel timers: each kernel group's worst isolated slowdown from the
+``kernels`` suite, weighted by the live in-decode shares of a
+``<name>.metrics.json`` artifact when one is provided, names the primary
+suspect (``kernel.hash`` / ``kernel.branch_cost`` / ``kernel.select``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.perf.history import BenchHistory, Metric
+
+__all__ = [
+    "COMPARISON_SCHEMA_VERSION",
+    "CompareOptions",
+    "MetricComparison",
+    "SuiteComparison",
+    "compare_suite",
+    "compare_all",
+    "attribute_regressions",
+    "render_comparison",
+]
+
+COMPARISON_SCHEMA_VERSION = 1
+
+#: ``kernels``-suite group prefix -> live decode timer name.
+KERNEL_GROUPS = {
+    "hash": "kernel.hash",
+    "branch_cost": "kernel.branch_cost",
+    "select": "kernel.select",
+}
+
+#: Suites whose regressions are decode-path regressions worth attributing.
+_DECODE_SUITES = ("decoder_throughput", "kernels")
+
+
+@dataclass(frozen=True)
+class CompareOptions:
+    """Gate knobs (defaults are the CI configuration)."""
+
+    rel_tol: float = 0.10        # noise floor: same-fingerprint gates
+    ratio_tol: float = 0.50      # machine-free gates across fingerprints
+    noise_sigmas: float = 3.0    # stddev multiplier on top of the floor
+    history_window: int = 8      # same-fingerprint records pooled for noise
+
+
+@dataclass
+class MetricComparison:
+    """One metric's verdict."""
+
+    name: str
+    baseline: float
+    current: float
+    worsening: float             # relative change, positive = worse
+    threshold: float
+    rel_noise: float
+    gated: bool
+    status: str                  # regression | flagged | improved | ok
+    unit: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "worsening": round(self.worsening, 6),
+            "threshold": round(self.threshold, 6),
+            "rel_noise": round(self.rel_noise, 6),
+            "gated": self.gated,
+            "status": self.status,
+            "unit": self.unit,
+        }
+
+
+@dataclass
+class SuiteComparison:
+    """All metric verdicts for one suite."""
+
+    suite: str
+    fingerprint_match: bool
+    baseline_fingerprint: str
+    current_fingerprint: str
+    profile_match: bool
+    metrics: list[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [m for m in self.metrics if m.status == "regression"]
+
+    @property
+    def flagged(self) -> list[MetricComparison]:
+        return [m for m in self.metrics if m.status == "flagged"]
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "fingerprint_match": self.fingerprint_match,
+            "baseline_fingerprint": self.baseline_fingerprint,
+            "current_fingerprint": self.current_fingerprint,
+            "profile_match": self.profile_match,
+            "metrics": [m.as_dict() for m in self.metrics],
+            "n_regressions": len(self.regressions),
+            "n_flagged": len(self.flagged),
+        }
+
+
+def _history_noise(
+    history: list[dict], suite: str, fingerprint_id: str,
+    metric_name: str, window: int,
+) -> float | None:
+    """Cross-record relative stddev of one metric, same fingerprint only."""
+    values: list[float] = []
+    for record in history:
+        if record.get("suite") != suite:
+            continue
+        if record.get("fingerprint_id") != fingerprint_id:
+            continue
+        metric = record.get("metrics", {}).get(metric_name)
+        if metric is None:
+            continue
+        values.append(float(metric["value"]))
+    values = values[-window:]
+    if len(values) < 3:
+        return None
+    mean = math.fsum(values) / len(values)
+    if mean == 0.0:
+        return None
+    var = math.fsum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var) / abs(mean)
+
+
+def _rel_noise(
+    base: Metric, cur: Metric, history_rel: float | None
+) -> float:
+    """Combined relative noise estimate for one metric pair."""
+    if base.value == 0.0:
+        return 0.0
+    per_round = math.sqrt(
+        (base.stddev or 0.0) ** 2 + (cur.stddev or 0.0) ** 2
+    ) / abs(base.value)
+    # per-round stddev describes single-round scatter; the recorded value
+    # is a mean over n rounds, so shrink by sqrt(n) where n is known
+    n = min(base.n or 1, cur.n or 1)
+    if n > 1:
+        per_round /= math.sqrt(n)
+    return max(per_round, history_rel or 0.0)
+
+
+def compare_suite(
+    suite: str,
+    baseline: dict,
+    current: dict,
+    history: list[dict] | None = None,
+    options: CompareOptions | None = None,
+) -> SuiteComparison:
+    """Judge one suite's current record against its baseline record."""
+    opts = options or CompareOptions()
+    # the record under judgment must not contribute to the noise window:
+    # a genuine regression would otherwise inflate its own threshold
+    history = [r for r in (history or [])
+               if r is not current and r != current]
+    fp_match = (baseline.get("fingerprint_id") ==
+                current.get("fingerprint_id"))
+    result = SuiteComparison(
+        suite=suite,
+        fingerprint_match=fp_match,
+        baseline_fingerprint=str(baseline.get("fingerprint_id", "")),
+        current_fingerprint=str(current.get("fingerprint_id", "")),
+        profile_match=(baseline.get("profile") == current.get("profile")),
+    )
+    base_metrics = {name: Metric.from_dict(rec) for name, rec
+                    in baseline.get("metrics", {}).items()}
+    cur_metrics = {name: Metric.from_dict(rec) for name, rec
+                   in current.get("metrics", {}).items()}
+    for name in sorted(base_metrics):
+        if name not in cur_metrics:
+            continue
+        base, cur = base_metrics[name], cur_metrics[name]
+        if base.higher_is_better is None or base.value == 0.0:
+            continue
+        direction = -1.0 if base.higher_is_better else 1.0
+        worsening = direction * (cur.value - base.value) / abs(base.value)
+        history_rel = _history_noise(
+            history, suite, str(current.get("fingerprint_id", "")),
+            name, opts.history_window)
+        rel_noise = _rel_noise(base, cur, history_rel)
+        gated = fp_match or base.machine_free
+        floor = opts.rel_tol if fp_match else opts.ratio_tol
+        threshold = max(floor, opts.noise_sigmas * rel_noise)
+        if worsening > threshold:
+            status = "regression" if gated else "flagged"
+        elif worsening < -threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        result.metrics.append(MetricComparison(
+            name=name, baseline=base.value, current=cur.value,
+            worsening=worsening, threshold=threshold, rel_noise=rel_noise,
+            gated=gated, status=status, unit=base.unit))
+    return result
+
+
+def compare_all(
+    bench_history: BenchHistory,
+    suites: list[str] | None = None,
+    options: CompareOptions | None = None,
+    baselines: BenchHistory | None = None,
+) -> list[SuiteComparison]:
+    """Compare every suite with both a baseline and a history record.
+
+    ``baselines`` defaults to the history's own ``baselines/`` directory;
+    pass a separate :class:`BenchHistory` rooted elsewhere to gate against
+    another tree's committed baselines.
+    """
+    source = baselines or bench_history
+    names = suites if suites is not None else source.baseline_suites()
+    history = bench_history.load()
+    comparisons: list[SuiteComparison] = []
+    for suite in names:
+        baseline = source.load_baseline(suite)
+        current = bench_history.latest(suite)
+        if baseline is None or current is None:
+            continue
+        comparisons.append(compare_suite(
+            suite, baseline, current, history=history, options=options))
+    return comparisons
+
+
+# ---------------------------------------------------------------------------
+# per-kernel attribution
+# ---------------------------------------------------------------------------
+
+def _kernel_timer_for(metric_name: str) -> str | None:
+    """``hash.lookup3/4096`` -> ``kernel.hash`` (None for non-kernels)."""
+    group = metric_name.split(".", 1)[0]
+    return KERNEL_GROUPS.get(group)
+
+
+def attribute_regressions(
+    comparisons: list[SuiteComparison],
+    live_shares: dict | None = None,
+) -> dict | None:
+    """Map decode-path regressions onto the three kernel timers.
+
+    ``live_shares`` is the ``kernels`` section of a ``<name>.metrics.json``
+    artifact (timer name -> record with a ``share`` key); without it the
+    isolated slowdowns alone rank the suspects.  Returns ``None`` when no
+    decode-path suite regressed.
+    """
+    regressed = [c for c in comparisons
+                 if c.suite in _DECODE_SUITES and c.regressions]
+    if not regressed:
+        return None
+    kernels = next((c for c in comparisons if c.suite == "kernels"), None)
+    timers: dict[str, dict] = {}
+    if kernels is not None:
+        for m in kernels.metrics:
+            timer = _kernel_timer_for(m.name)
+            if timer is None or m.worsening <= 0.0:
+                continue
+            entry = timers.setdefault(timer, {
+                "isolated_worsening": 0.0, "worst_metric": "",
+                "regressed": False,
+            })
+            if m.worsening > entry["isolated_worsening"]:
+                entry["isolated_worsening"] = m.worsening
+                entry["worst_metric"] = m.name
+            entry["regressed"] = entry["regressed"] or (
+                m.status == "regression")
+    for timer, entry in timers.items():
+        share = None
+        if live_shares and timer in live_shares:
+            share = float(live_shares[timer].get("share", 0.0))
+        entry["live_share"] = share
+        entry["estimated_decode_impact"] = (
+            entry["isolated_worsening"] * share if share is not None
+            else None)
+    if not timers:
+        return {"kernel_timers": {}, "primary": None,
+                "note": "decode-path regression without kernel-suite data"}
+
+    def rank(item: tuple[str, dict]) -> tuple[float, str]:
+        entry = item[1]
+        impact = entry["estimated_decode_impact"]
+        score = impact if impact is not None else entry["isolated_worsening"]
+        return (float(score), item[0])
+
+    primary = max(sorted(timers.items()), key=rank)[0]
+    return {"kernel_timers": timers, "primary": primary}
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:+.1f}%"
+
+
+def render_comparison(
+    comparisons: list[SuiteComparison],
+    attribution: dict | None = None,
+    verbose: bool = False,
+) -> str:
+    """Human-readable comparison report (the ``perf compare`` printout)."""
+    lines = ["== perf comparison =="]
+    if not comparisons:
+        lines.append("(nothing to compare: no suite has both a baseline "
+                     "and a history record)")
+        return "\n".join(lines)
+    for comp in comparisons:
+        fp = ("same fingerprint" if comp.fingerprint_match else
+              f"cross-fingerprint {comp.baseline_fingerprint} -> "
+              f"{comp.current_fingerprint}: absolute metrics flagged, "
+              "not gated")
+        lines.append(f"{comp.suite}: {len(comp.metrics)} metrics, "
+                     f"{len(comp.regressions)} regression(s), "
+                     f"{len(comp.flagged)} flagged ({fp})")
+        if not comp.profile_match:
+            lines.append("  note: baseline and current used different "
+                         "bench profiles")
+        for m in comp.metrics:
+            if m.status == "ok" and not verbose:
+                continue
+            lines.append(
+                f"  [{m.status:10}] {m.name:42} "
+                f"{m.baseline:g} -> {m.current:g} {m.unit} "
+                f"({_pct(m.worsening)} worse, "
+                f"threshold {_pct(m.threshold)})")
+    if attribution is not None:
+        lines.append("attribution (decode-path regression):")
+        for timer, entry in sorted(attribution["kernel_timers"].items()):
+            share = entry.get("live_share")
+            share_txt = (f", live share {100.0 * share:.0f}%"
+                         if share is not None else "")
+            impact = entry.get("estimated_decode_impact")
+            impact_txt = (f", est. decode impact {_pct(impact)}"
+                          if impact is not None else "")
+            lines.append(
+                f"  {timer:20} isolated "
+                f"{_pct(entry['isolated_worsening'])} "
+                f"({entry['worst_metric']}){share_txt}{impact_txt}")
+        if attribution.get("primary"):
+            lines.append(f"  primary suspect: {attribution['primary']}")
+    n_regressions = len([m for c in comparisons for m in c.regressions])
+    lines.append("FAIL: performance regression(s) detected"
+                 if n_regressions else "ok: no gated regressions")
+    return "\n".join(lines)

@@ -13,7 +13,12 @@ on the live singleton and on a snapshot merged from worker processes.
 
 from __future__ import annotations
 
-__all__ = ["kernel_breakdown", "render_summary", "metrics_payload"]
+__all__ = ["kernel_breakdown", "render_summary", "metrics_payload",
+           "METRICS_SCHEMA_VERSION"]
+
+#: Version of the ``<name>.metrics.json`` artifact schema.  Bump when an
+#: existing key changes meaning; additive keys need no bump.
+METRICS_SCHEMA_VERSION = 1
 
 #: Timer names the decode instrumentation emits (the kernel seam the
 #: ROADMAP's backend work needs numbers for).
@@ -109,6 +114,7 @@ def metrics_payload(snapshot: dict, **extra: object) -> dict:
     (experiment name, profile, worker count, store accounting).
     """
     return {
+        "schema_version": METRICS_SCHEMA_VERSION,
         "counters": dict(snapshot.get("counters", {})),
         "timers": {k: dict(v) for k, v in snapshot.get("timers", {}).items()},
         "kernels": kernel_breakdown(snapshot),

@@ -30,6 +30,7 @@ from repro.obs import (
     metrics_payload,
     render_summary,
 )
+from repro.obs.events import SCHEMA_VERSION as EVENTS_SCHEMA_VERSION
 from repro.obs.registry import _NULL_CONTEXT
 from repro.utils.bitops import random_message
 
@@ -175,6 +176,45 @@ class TestRegistry:
     def test_in_foreign_process_false_when_disabled(self):
         assert not OBS.in_foreign_process()
 
+    def test_drain_on_empty_registry(self):
+        OBS.enable()
+        snap = OBS.drain()
+        assert snap == {"counters": {}, "timers": {}}
+        OBS.counter("x")  # registry still usable after the empty drain
+        assert OBS.snapshot()["counters"] == {"x": 1}
+
+    def test_merge_of_empty_snapshot_is_identity(self):
+        OBS.enable()
+        OBS.counter("x", 2)
+        OBS.add_time("t", 0.5, calls=3)
+        before = OBS.snapshot()
+        OBS.merge({"counters": {}, "timers": {}})
+        assert OBS.snapshot() == before
+
+    def test_worker_with_zero_recorded_timers_round_trips(self):
+        # A worker that adopts, does no instrumented work, and drains must
+        # hand back an empty snapshot whose merge is a no-op in the parent.
+        OBS.enable()
+        OBS.owner_pid = os.getpid() + 1  # pretend we forked
+        OBS.adopt()                      # worker side
+        worker_snap = OBS.drain()
+        assert worker_snap == {"counters": {}, "timers": {}}
+        OBS.counter("parent.after")      # back on the parent side
+        OBS.merge(worker_snap)
+        snap = OBS.snapshot()
+        assert snap["counters"] == {"parent.after": 1}
+        assert snap["timers"] == {}
+
+    def test_merge_introduces_unseen_timer(self):
+        OBS.enable()
+        OBS.merge({"counters": {},
+                   "timers": {"kernel.hash": {"n": 4, "total_s": 0.4,
+                                              "min_s": 0.05, "max_s": 0.2}}})
+        rec = OBS.snapshot()["timers"]["kernel.hash"]
+        assert rec["n"] == 4
+        assert rec["total_s"] == pytest.approx(0.4)
+        assert rec["min_s"] == pytest.approx(0.05)
+
 
 class TestEventSink:
     def test_span_and_event_schema(self, tmp_path):
@@ -185,8 +225,12 @@ class TestEventSink:
         OBS.event("link.subpass", flow=0, acked=2)
         OBS.disable()
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert len(lines) == 2
-        span, event = lines
+        assert len(lines) == 3
+        meta, span, event = lines
+        # the stream opens with a schema/pid stamp for trace consumers
+        assert meta["ev"] == "meta"
+        assert meta["schema_version"] == EVENTS_SCHEMA_VERSION
+        assert meta["pid"] == os.getpid()
         assert span["ev"] == "span" and span["name"] == "phase.x"
         assert span["items"] == 3
         assert span["dt_s"] >= 0.0 and span["t_s"] >= 0.0
@@ -202,7 +246,18 @@ class TestEventSink:
         assert OBS._sink is None
         OBS.enable()
         OBS.event("x")  # sink-less enabled registry: counted, not written
-        assert path.read_text() == ""
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1  # only the open-time meta stamp
+        assert json.loads(lines[0])["ev"] == "meta"
+
+    def test_sink_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deeply" / "nested" / "dirs" / "trace.jsonl"
+        OBS.enable(jsonl_path=str(path))
+        OBS.event("x", n=1)
+        OBS.disable()
+        events = [json.loads(line) for line in
+                  path.read_text().splitlines()]
+        assert [e["ev"] for e in events] == ["meta", "x"]
 
 
 class TestReport:
