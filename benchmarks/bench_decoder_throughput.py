@@ -35,6 +35,7 @@ import sys
 
 import numpy as np
 
+from repro.backend import get_backend, set_backend, use_backend
 from repro.channels import AWGNChannel, RayleighBlockFadingChannel
 from repro.core.decoder import BubbleDecoder
 from repro.core.encoder import SpinalEncoder
@@ -164,6 +165,7 @@ def run(quick: bool) -> dict:
             "max_passes": dec.max_passes, "probe_growth": probe_growth,
             "n_messages": n_messages, "batch_size": batch_size,
             "profile": "quick" if quick else "full",
+            "backend": get_backend().name,
         },
         "rate_bits_per_symbol": round(batch.rate, 9),
         "scalar_rebuild_msgs_per_sec": round(n_messages / t_legacy, 3),
@@ -219,11 +221,104 @@ def run_fading(quick: bool) -> dict:
     }
 
 
+def run_backend_compare(quick: bool, backend: str) -> dict:
+    """End-to-end cohort decode: ``backend`` vs the numpy reference.
+
+    Runs the *same* batched AWGN and fading sweeps under each backend with
+    identical seeding and asserts the measurements are equal — the
+    cross-backend bit-exactness contract at full-pipeline scale — then
+    reports the wall-time ratio as ``backend_speedup_batch_vs_numpy``
+    (machine-free, gated against the ``decoder_throughput_numba``
+    baseline by ``repro.obs.perf compare``).
+    """
+    n_messages = 48 if quick else 192
+    batch_size = 48
+    n_bits, snr_db, seed, probe_growth = 128, 8.0, 0, 1.5
+    params = SpinalParams()
+    dec = DecoderParams(B=64, max_passes=16)
+    scheme = SpinalScheme(params, dec, n_bits, probe_growth=probe_growth)
+
+    def batch_awgn():
+        return measure_scheme(
+            scheme, lambda rng: AWGNChannel(snr_db, rng=rng), snr_db,
+            n_messages, seed=seed, batch_size=batch_size)
+
+    with use_backend("numpy"):
+        ref, t_numpy = _timed(batch_awgn)
+    with use_backend(backend):
+        cur, t_backend = _timed(batch_awgn)
+    # Backends are bit-identical by contract: same decodes, same symbol
+    # counts, same rate — only the wall time may differ.
+    assert ref == cur
+
+    tau = 10
+    fading_scheme = SpinalScheme(params, dec, n_bits, give_csi="full",
+                                 probe_growth=probe_growth)
+    factory = lambda rng: RayleighBlockFadingChannel(  # noqa: E731
+        13.0, coherence_time=tau, rng=rng)
+
+    def batch_fading():
+        return measure_scheme(
+            fading_scheme, factory, 13.0, n_messages, seed=seed,
+            batch_size=batch_size, capacity_reference="rayleigh")
+
+    with use_backend("numpy"):
+        fref, tf_numpy = _timed(batch_fading)
+    with use_backend(backend):
+        fcur, tf_backend = _timed(batch_fading)
+    assert fref == fcur
+
+    return {
+        "config": {
+            "n_bits": n_bits, "snr_db": snr_db, "B": dec.B,
+            "max_passes": dec.max_passes, "probe_growth": probe_growth,
+            "n_messages": n_messages, "batch_size": batch_size,
+            "profile": "quick" if quick else "full",
+            "backend": backend,
+        },
+        "rate_bits_per_symbol": round(ref.rate, 9),
+        "numpy_batch_msgs_per_sec": round(n_messages / t_numpy, 3),
+        "backend_batch_msgs_per_sec": round(n_messages / t_backend, 3),
+        "backend_speedup_batch_vs_numpy": round(t_numpy / t_backend, 3),
+        "fading_rate_bits_per_symbol": round(fref.rate, 9),
+        "fading_numpy_batch_msgs_per_sec": round(n_messages / tf_numpy, 3),
+        "fading_backend_batch_msgs_per_sec": round(
+            n_messages / tf_backend, 3),
+        "fading_backend_speedup_batch_vs_numpy": round(
+            tf_numpy / tf_backend, 3),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
                     help="small message count (the CI smoke profile)")
+    ap.add_argument("--backend", default="numpy",
+                    help="array-kernel backend (see repro.backend). With a "
+                         "non-numpy backend the bench switches to a "
+                         "backend-vs-numpy comparison of the batched "
+                         "cohort path and writes "
+                         "BENCH_decoder_throughput_numba.json")
     args = ap.parse_args(argv)
+
+    resolved = set_backend(args.backend).name
+    if resolved != "numpy":
+        payload = run_backend_compare(quick=args.quick, backend=resolved)
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+        write_json("BENCH_decoder_throughput_numba", payload)
+        print(f"ok: {resolved} batch path "
+              f"{payload['backend_speedup_batch_vs_numpy']}x over numpy "
+              f"(fading "
+              f"{payload['fading_backend_speedup_batch_vs_numpy']}x), "
+              f"measurements identical")
+        return 0
+    if args.backend != resolved:
+        # requested backend fell back (e.g. numba missing): the comparison
+        # would gate numpy against itself, so fail loudly instead
+        print(f"requested backend {args.backend!r} resolved to "
+              f"{resolved!r}; aborting backend comparison", file=sys.stderr)
+        return 1
 
     payload = run(quick=args.quick)
     for key, value in payload.items():

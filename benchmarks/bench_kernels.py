@@ -1,4 +1,4 @@
-"""Per-kernel microbenchmarks for the decode hot path.
+"""Per-kernel microbenchmarks for the decode hot path, per backend.
 
 The bubble decoder spends its time in three kernels — the spine hash, the
 branch-cost evaluation, and beam selection — and ``repro.obs`` now reports
@@ -16,16 +16,28 @@ kernel, not just "decode got slower":
 - ``select``: :func:`repro.core.decoder.select_beams` (argpartition
   subtree pruning) in scalar (1-D) and batch-cohort (2-D) shapes.
 
+The hash and branch-cost benchmarks run once per available backend
+(:mod:`repro.backend`): numpy always, numba when installed.  numpy records
+keep their historical names (so the committed ``kernels`` baseline stays
+comparable); numba records get an ``@numba`` name suffix plus a
+``backend`` field.  Selection is backend-shared by contract and measured
+once.
+
 Run with ``pytest benchmarks/bench_kernels.py``; a session teardown writes
-``bench_results/BENCH_kernels.json`` (mean/stddev/rounds per kernel) in
-the same canonical form the other benches emit, so CI can diff numbers
-across PRs.  Not collected by the tier-1 suite (``testpaths = ["tests"]``).
+``bench_results/BENCH_kernels.json`` (mean/stddev/rounds per kernel) and,
+when both backends ran, ``bench_results/BENCH_kernels_backend.json`` with
+per-kernel numpy/numba timing pairs and their machine-free speedup ratios
+— the numbers ``repro.obs.perf compare`` gates against the committed
+``kernels_backend`` baseline.  Not collected by the tier-1 suite
+(``testpaths = ["tests"]``).
 """
 
 import numpy as np
 import pytest
 
 from _common import write_json
+from repro.backend import use_backend
+from repro.backend.numba_backend import NUMBA_AVAILABLE
 from repro.channels import AWGNChannel, BSCChannel
 from repro.core.decoder import BubbleDecoder, select_beams
 from repro.core.encoder import SpinalEncoder
@@ -45,6 +57,12 @@ CONFIGS = {
     "bsc_k4": (SpinalParams.bsc(), 32, 0.05),
 }
 
+BACKENDS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param("numba", id="numba", marks=pytest.mark.skipif(
+        not NUMBA_AVAILABLE, reason="numba not installed")),
+]
+
 
 @pytest.fixture(scope="session")
 def kernel_records():
@@ -54,6 +72,34 @@ def kernel_records():
     write_json("BENCH_kernels", {
         "suite": "kernels",
         "records": sorted(records, key=lambda r: (r["group"], r["name"])),
+    })
+    # Cross-backend speedup pairs (numpy mean / numba mean per kernel):
+    # only when the numba leg actually ran, so numpy-only hosts never
+    # write a partial kernels_backend payload.
+    numba_recs = {
+        (r["group"], r["name"][:-len("@numba")]): r
+        for r in records
+        if r.get("backend") == "numba" and r["name"].endswith("@numba")
+    }
+    if not numba_recs:
+        return
+    pairs = []
+    for r in records:
+        if r.get("backend") != "numpy":
+            continue
+        other = numba_recs.get((r["group"], r["name"]))
+        if other is None or "mean_s" not in r or "mean_s" not in other:
+            continue
+        pairs.append({
+            "group": r["group"],
+            "name": r["name"],
+            "numpy_mean_s": r["mean_s"],
+            "numba_mean_s": other["mean_s"],
+            "speedup": r["mean_s"] / other["mean_s"],
+        })
+    write_json("BENCH_kernels_backend", {
+        "suite": "kernels_backend",
+        "pairs": sorted(pairs, key=lambda p: (p["group"], p["name"])),
     })
 
 
@@ -69,21 +115,29 @@ def _record(kernel_records, benchmark, group, name, **meta):
     kernel_records.append(record)
 
 
+def _suffix(backend):
+    """numpy keeps the historical metric names; others are suffixed."""
+    return "" if backend == "numpy" else f"@{backend}"
+
+
 # ---------------------------------------------------------------------------
 # hash kernels
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("n_states", [BEAM, COHORT], ids=["beam", "cohort"])
 @pytest.mark.parametrize("hash_name", available_hashes())
-def test_hash_kernel(benchmark, kernel_records, hash_name, n_states):
-    hash_fn = get_hash(hash_name)
+def test_hash_kernel(benchmark, kernel_records, hash_name, n_states, backend):
     rng = np.random.default_rng(7)
     states = rng.integers(0, 2**32, size=n_states, dtype=np.uint32)
     data = rng.integers(0, 2**16, size=n_states, dtype=np.uint32)
-    out = benchmark(hash_fn, states, data)
+    with use_backend(backend):
+        hash_fn = get_hash(hash_name)
+        out = benchmark(hash_fn, states, data)
     assert out.shape == states.shape and out.dtype == np.uint32
-    _record(kernel_records, benchmark, "hash", f"{hash_name}/{n_states}",
-            hash=hash_name, n_states=n_states)
+    _record(kernel_records, benchmark, "hash",
+            f"{hash_name}/{n_states}{_suffix(backend)}",
+            hash=hash_name, n_states=n_states, backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -105,20 +159,25 @@ def _filled_store(params, n_bits, x, n_subpasses=4, seed=99):
     return store
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
-def test_branch_cost_kernel(benchmark, kernel_records, config):
+def test_branch_cost_kernel(benchmark, kernel_records, config, backend):
     params, n_bits, x = CONFIGS[config]
-    decoder = BubbleDecoder(params, DecoderParams(B=256), n_bits)
     store = _filled_store(params, n_bits, x)
     states = np.random.default_rng(3).integers(
         0, 2**32, size=BEAM, dtype=np.uint32)
-    costs = benchmark(decoder._branch_costs, states, 1, store)
+    with use_backend(backend):
+        # the decoder binds its backend at construction
+        decoder = BubbleDecoder(params, DecoderParams(B=256), n_bits)
+        costs = benchmark(decoder._branch_costs, states, 1, store)
     assert costs.shape == (BEAM,) and np.all(costs >= 0.0)
-    _record(kernel_records, benchmark, "branch_cost", config,
-            config=config, n_states=BEAM)
+    _record(kernel_records, benchmark, "branch_cost",
+            f"{config}{_suffix(backend)}",
+            config=config, n_states=BEAM, backend=backend)
 
 
-def test_branch_cost_kernel_fading_csi(benchmark, kernel_records):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_branch_cost_kernel_fading_csi(benchmark, kernel_records, backend):
     """Fading branch costs: the CSI multiply is extra work worth tracking."""
     params = SpinalParams()
     store = _filled_store(params, 32, 8.0)
@@ -131,17 +190,19 @@ def test_branch_cost_kernel_fading_csi(benchmark, kernel_records):
             continue
         phases = np.exp(2j * np.pi * rng.random(slots.size))
         csi_store.add_block(np.full(slots.size, i), slots, values, csi=phases)
-    decoder = BubbleDecoder(params, DecoderParams(B=256), 32)
     states = np.random.default_rng(3).integers(
         0, 2**32, size=BEAM, dtype=np.uint32)
-    costs = benchmark(decoder._branch_costs, states, 1, csi_store)
+    with use_backend(backend):
+        decoder = BubbleDecoder(params, DecoderParams(B=256), 32)
+        costs = benchmark(decoder._branch_costs, states, 1, csi_store)
     assert costs.shape == (BEAM,) and np.all(costs >= 0.0)
-    _record(kernel_records, benchmark, "branch_cost", "awgn_k4_c6_csi",
-            config="awgn_k4_c6_csi", n_states=BEAM)
+    _record(kernel_records, benchmark, "branch_cost",
+            f"awgn_k4_c6_csi{_suffix(backend)}",
+            config="awgn_k4_c6_csi", n_states=BEAM, backend=backend)
 
 
 # ---------------------------------------------------------------------------
-# selection kernel
+# selection kernel (backend-shared by contract; measured once)
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("shape,n_beam", [

@@ -21,6 +21,12 @@ Quickstart::
     print(result.rate, "bits/symbol")
 """
 
+from repro.backend import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.channels import (
     AWGNChannel,
     BSCChannel,
@@ -89,4 +95,8 @@ __all__ = [
     "measure_scheme",
     "measure_spinal_rate",
     "snr_sweep",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -1,0 +1,46 @@
+"""Shared uint32 bit-twiddling helpers for the hash kernels.
+
+One rotate to rule them all: ``lookup3``'s ``final()`` mixing and
+``salsa20``'s quarter rounds both need a 32-bit left rotation, and before
+this module each carried its own copy (``_rot`` in ``hashes.py`` and an
+inline shift pair in ``salsa20.quarter``).  The backend seam makes the
+rotation a named primitive so every backend author implements it exactly
+once — bit-identical across the expression form and the in-place form,
+covered by the committed hash golden vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MASK32", "rotl32"]
+
+_U32 = np.uint32
+
+#: All 32 bits set — the mod-2^32 mask scalar backends reduce with.
+MASK32 = 0xFFFFFFFF
+
+
+def rotl32(
+    x: np.ndarray,
+    k: int,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """32-bit left rotation of a uint32 array by ``k`` (1 <= k <= 31).
+
+    Expression form (``out`` omitted) allocates the result; the in-place
+    form writes the rotation into ``out`` using ``scratch`` as the
+    right-shift buffer and never modifies ``x`` — unless the caller passes
+    ``scratch is x`` because it no longer needs ``x``, which is legal: the
+    left shift reads ``x`` before the right shift overwrites it.  Both
+    forms perform the identical ``(x << k) | (x >> (32 - k))`` uint32 ops.
+    """
+    if out is None:
+        return (x << _U32(k)) | (x >> _U32(32 - k))
+    if scratch is None:
+        raise ValueError("in-place rotl32 requires a scratch buffer")
+    np.left_shift(x, _U32(k), out=out)
+    np.right_shift(x, _U32(32 - k), out=scratch)
+    np.bitwise_or(out, scratch, out=out)
+    return out

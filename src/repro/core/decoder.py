@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.core.hashes import get_hash
 from repro.core.params import DecoderParams, SpinalParams
 from repro.core.symbols import BatchReceivedView, ReceivedSymbols
 from repro.obs import OBS, clock
@@ -44,19 +46,12 @@ def select_beams(group_costs: np.ndarray, n_beam: int) -> np.ndarray:
 
     The beam-selection kernel: a 1-D input is one message's flattened
     candidate costs (scalar decoder); a 2-D input selects along axis 1 for
-    every message of a batch.  Both shapes use the same ``argpartition``
-    calls the decoders always made (introselect order preserved), so the
-    surviving index sets — and therefore decode results — are unchanged.
+    every message of a batch.  Delegates to the active backend
+    (:mod:`repro.backend`); every backend preserves the reference
+    ``argpartition`` introselect order, so the surviving index sets — and
+    therefore decode results — are backend-invariant.
     """
-    if group_costs.ndim == 1:
-        n_keep = min(n_beam, group_costs.size)
-        if n_keep < group_costs.size:
-            return np.argpartition(group_costs, n_keep - 1)[:n_keep]
-        return np.arange(group_costs.size)
-    n_keep = min(n_beam, group_costs.shape[1])
-    if n_keep < group_costs.shape[1]:
-        return np.argpartition(group_costs, n_keep - 1, axis=1)[:, :n_keep]
-    return np.broadcast_to(np.arange(group_costs.shape[1]), group_costs.shape)
+    return get_backend().select_beams(group_costs, n_beam)
 
 
 @dataclass
@@ -92,10 +87,13 @@ class BubbleDecoder:
         self.n_bits = n_bits
         self.n_spine = params.n_spine(n_bits)
         self.k = params.k
-        self._rng = params.make_rng()
         self._mapping = params.make_mapping()
         self._levels = self._mapping.levels
-        self._c_mask = np.uint32((1 << params.c) - 1)
+        # The backend is bound once at construction (repro.backend): all
+        # hot kernels — spine hash, branch costs, beam selection — come
+        # from this object for the decoder's lifetime.
+        self._backend = get_backend()
+        self._hash_fn = get_hash(params.hash_name)
         # Depth cannot exceed the tree height; clamping keeps tiny-n cases
         # (and the full-ML limit) working through the same code path.
         self.d = min(decoder_params.d, self.n_spine)
@@ -111,42 +109,19 @@ class BubbleDecoder:
         """Cost of the edge *into* each candidate state at a spine position.
 
         Sums over every received symbol of that position: all passes plus
-        tail symbols arrive as distinct slots, evaluated in one broadcast
-        hash of shape (n_slots, n_states).
+        tail symbols arrive as distinct slots.  The arithmetic lives in the
+        bound backend's ``branch_costs`` kernel (which owns its
+        ``repro.obs`` kernel timing); this method only slices the received
+        store for the spine position.
         """
         slots, values, csi = received.for_spine(spine_idx)
-        states = np.asarray(states, dtype=np.uint32)
-        if slots.size == 0:
-            return np.zeros(states.size, dtype=np.float64)
-        # Metrics discipline (see repro.obs): snapshot the flag, time with
-        # plain clock reads, flush once — disabled cost is one branch.
-        _on = OBS.enabled
-        if _on:
-            t0 = clock()
-        words = self._rng.words(states[None, :], slots[:, None])
-        if _on:
-            t1 = clock()
-            OBS.add_time("kernel.hash", t1 - t0)
-        if self.params.is_bsc:
-            bits = (words & np.uint32(1)).astype(np.float64)
-            out = np.abs(bits - values[:, None]).sum(axis=0)
-            if _on:
-                OBS.add_time("kernel.branch_cost", clock() - t1)
-            return out
-        c = self.params.c
-        x_i = self._levels[(words & self._c_mask).astype(np.intp)]
-        x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
-        if csi is None:
-            d_r = values.real[:, None] - x_i
-            d_q = values.imag[:, None] - x_q
-        else:
-            faded = csi[:, None] * (x_i + 1j * x_q)
-            d_r = values.real[:, None] - faded.real
-            d_q = values.imag[:, None] - faded.imag
-        out = (d_r * d_r + d_q * d_q).sum(axis=0)
-        if _on:
-            OBS.add_time("kernel.branch_cost", clock() - t1)
-        return out
+        return self._backend.branch_costs(
+            states, slots, values, csi,
+            hash_name=self.params.hash_name,
+            levels=self._levels,
+            c=self.params.c,
+            is_bsc=self.params.is_bsc,
+        )
 
     # ------------------------------------------------------------------
     # tree search
@@ -158,7 +133,7 @@ class BubbleDecoder:
             raise ValueError("received-symbol store has mismatched spine length")
         k, K, d, W = self.k, 1 << self.k, self.d, self._W
         edges = np.arange(K, dtype=np.uint32)
-        hash_fn = self.params.hash_fn
+        hash_fn = self._hash_fn
         # Kernel timing accumulates in locals and flushes once at the end
         # (repro.obs hot-loop discipline: disabled cost is one branch per
         # step, no allocations).
@@ -203,7 +178,7 @@ class BubbleDecoder:
             if _on:
                 t0 = clock()
             group_costs = totals.min(axis=2).ravel()
-            sel = select_beams(group_costs, self.dec.B)
+            sel = self._backend.select_beams(group_costs, self.dec.B)
             parents = sel // K
             sel_edges = sel % K
             leaf_states = states3[parents, sel_edges, :]
@@ -266,41 +241,13 @@ class BatchBubbleDecoder(BubbleDecoder):
     ) -> np.ndarray:
         """Edge costs for ``states`` of shape (M, n_states) -> (M, n_states)."""
         slots, values, csi = received.for_spine(spine_idx)
-        states = np.asarray(states, dtype=np.uint32)
-        n_msgs, n_states = states.shape
-        if slots.size == 0:
-            return np.zeros((n_msgs, n_states), dtype=np.float64)
-        _on = OBS.enabled
-        if _on:
-            t0 = clock()
-        # (n_slots, M, n_states): slot axis leads exactly as in the scalar
-        # path's (n_slots, n_states), so the sum reduces in the same order.
-        words = self._rng.words(states[None, :, :], slots[:, None, None])
-        if _on:
-            t1 = clock()
-            OBS.add_time("kernel.hash", t1 - t0)
-        if self.params.is_bsc:
-            bits = (words & np.uint32(1)).astype(np.float64)
-            out = np.abs(bits - values.T[:, :, None]).sum(axis=0)
-            if _on:
-                OBS.add_time("kernel.branch_cost", clock() - t1)
-            return out
-        c = self.params.c
-        x_i = self._levels[(words & self._c_mask).astype(np.intp)]
-        x_q = self._levels[((words >> np.uint32(c)) & self._c_mask).astype(np.intp)]
-        if csi is None:
-            d_r = values.real.T[:, :, None] - x_i
-            d_q = values.imag.T[:, :, None] - x_q
-        else:
-            # Coherent metric |y - h x|^2 (§8.3): same complex product and
-            # component subtraction as the scalar branch, broadcast over M.
-            faded = csi.T[:, :, None] * (x_i + 1j * x_q)
-            d_r = values.real.T[:, :, None] - faded.real
-            d_q = values.imag.T[:, :, None] - faded.imag
-        out = (d_r * d_r + d_q * d_q).sum(axis=0)
-        if _on:
-            OBS.add_time("kernel.branch_cost", clock() - t1)
-        return out
+        return self._backend.branch_costs_batch(
+            states, slots, values, csi,
+            hash_name=self.params.hash_name,
+            levels=self._levels,
+            c=self.params.c,
+            is_bsc=self.params.is_bsc,
+        )
 
     def decode_batch(self, received: BatchReceivedView) -> list[DecodeResult]:
         """Decode every message of a batch view in one vectorised search."""
@@ -309,7 +256,7 @@ class BatchBubbleDecoder(BubbleDecoder):
         k, K, d, W = self.k, 1 << self.k, self.d, self._W
         M = received.n_rows
         edges = np.arange(K, dtype=np.uint32)
-        hash_fn = self.params.hash_fn
+        hash_fn = self._hash_fn
         _on = OBS.enabled
         t_hash = t_sel = 0.0
         n_hash = n_sel = 0
@@ -353,7 +300,7 @@ class BatchBubbleDecoder(BubbleDecoder):
             if _on:
                 t0 = clock()
             group_costs = totals.min(axis=3).reshape(M, n_beam * K)
-            sel = select_beams(group_costs, self.dec.B)
+            sel = self._backend.select_beams(group_costs, self.dec.B)
             parents = sel // K
             sel_edges = sel % K
             leaf_states = states4[row_idx, parents, sel_edges, :]

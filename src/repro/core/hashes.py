@@ -20,6 +20,12 @@ construction) or a symbol index (RNG use, see :mod:`repro.core.rng`).  The
 implementations are fully vectorised: the bubble decoder hashes beams of
 thousands of candidate states per call, so every operation is an elementwise
 numpy ``uint32`` op with natural mod-2^32 wrap-around.
+
+These are the **reference** kernels — the bit-exactness contract of the
+backend seam (:mod:`repro.backend`).  :func:`get_hash` dispatches through
+the active backend, so callers transparently pick up e.g. the numba JIT
+kernels when that backend is selected; :func:`reference_hashes` always
+returns the numpy implementations below.
 """
 
 from __future__ import annotations
@@ -28,12 +34,15 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend.u32 import rotl32
+
 __all__ = [
     "one_at_a_time",
     "lookup3",
     "salsa20",
     "get_hash",
     "available_hashes",
+    "reference_hashes",
     "HashFn",
 ]
 
@@ -78,11 +87,6 @@ def one_at_a_time(state: np.ndarray, data: np.ndarray) -> np.ndarray:
     return h
 
 
-def _rot(x: np.ndarray, k: int) -> np.ndarray:
-    """32-bit left rotation."""
-    return (x << _U32(k)) | (x >> _U32(32 - k))
-
-
 def lookup3(state: np.ndarray, data: np.ndarray) -> np.ndarray:
     """Jenkins lookup3 ``hashword`` applied to the two words (state, data).
 
@@ -105,9 +109,7 @@ def lookup3(state: np.ndarray, data: np.ndarray) -> np.ndarray:
 
     def mix(x: np.ndarray, y: np.ndarray, k: int) -> None:
         """x = (x ^ y) - rot(y, k), in place (y is never modified)."""
-        np.left_shift(y, _U32(k), out=rot)
-        np.right_shift(y, _U32(32 - k), out=scratch)
-        np.bitwise_or(rot, scratch, out=rot)
+        rotl32(y, k, out=rot, scratch=scratch)
         x ^= y
         x -= rot
 
@@ -163,9 +165,9 @@ def salsa20(state: np.ndarray, data: np.ndarray, rounds: int = 20) -> np.ndarray
     def quarter(xt: np.ndarray, u: np.ndarray, v: np.ndarray, k: int) -> None:
         """xt ^= rot(u + v, k), in place (u and v are never modified)."""
         np.add(u, v, out=scratch)
-        np.left_shift(scratch, _U32(k), out=rot)
-        np.right_shift(scratch, _U32(32 - k), out=scratch)
-        np.bitwise_or(rot, scratch, out=rot)
+        # scratch doubles as rotl32's right-shift buffer — legal because
+        # the left shift reads it first (see repro.backend.u32).
+        rotl32(scratch, k, out=rot, scratch=scratch)
         xt ^= rot
 
     for _ in range(rounds // 2):
@@ -193,11 +195,26 @@ def available_hashes() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def reference_hashes() -> dict[str, HashFn]:
+    """The numpy reference implementations, by name.
+
+    This is the bit-exactness contract of the backend seam: every backend's
+    ``hash_fns`` must reproduce these words exactly (``tests/test_backend.py``
+    pins golden vectors and cross-backend equality against them).
+    """
+    return dict(_REGISTRY)
+
+
 def get_hash(name: str) -> HashFn:
-    """Look up a hash function by name (see :func:`available_hashes`)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    """The active backend's kernel for a hash (see :func:`available_hashes`).
+
+    Under the default numpy backend this returns the reference function
+    itself; other backends return their own bit-identical kernel.
+    """
+    if name not in _REGISTRY:
         raise ValueError(
             f"unknown hash {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+        )
+    from repro.backend import get_backend
+
+    return get_backend().hash_fns[name]

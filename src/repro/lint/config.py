@@ -72,6 +72,15 @@ class LintConfig:
 
 DEFAULT_CONFIG = LintConfig(policies=(
     Policy(
+        prefix="src/repro/backend",
+        disable=frozenset(),
+        note=("backend kernels are the bit-exactness contract itself: "
+              "every rule applies in full from day one — timing goes "
+              "through repro.obs.clock, widths are explicit, and any "
+              "nondeterminism here would silently break the "
+              "cross-backend equivalence matrix"),
+    ),
+    Policy(
         prefix="src/repro/obs",
         disable=frozenset({"no-wallclock"}),
         note=("obs owns the clock: repro.obs.clock is the one sanctioned "

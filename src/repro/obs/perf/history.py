@@ -192,6 +192,23 @@ def _normalize_link_goodput(payload: dict) -> dict[str, Metric]:
     return metrics
 
 
+def _normalize_kernels_backend(payload: dict) -> dict[str, Metric]:
+    """Cross-backend kernel speedups from ``BENCH_kernels_backend.json``.
+
+    The payload pairs each numpy kernel timing with its numba counterpart
+    (``pairs``: group/name/numpy_mean_s/numba_mean_s/speedup); the ratio
+    is machine-free so the ≥5x hash-kernel gate survives fingerprint
+    changes and even a seeded target baseline.
+    """
+    metrics: dict[str, Metric] = {}
+    for record in payload.get("pairs", []):
+        name = f"speedup.{record['group']}.{record['name']}"
+        metrics[name] = Metric(
+            float(record["speedup"]), higher_is_better=True,
+            unit="x", machine_free=True)
+    return metrics
+
+
 def _normalize_generic(payload: dict) -> dict[str, Metric]:
     """Fallback: record top-level numeric leaves, gate nothing."""
     return {
@@ -203,7 +220,11 @@ def _normalize_generic(payload: dict) -> dict[str, Metric]:
 
 _NORMALIZERS = {
     "decoder_throughput": _normalize_decoder_throughput,
+    # numba-path decoder throughput: same payload shape, separate suite so
+    # its baseline can't collide with the numpy one
+    "decoder_throughput_numba": _normalize_decoder_throughput,
     "kernels": _normalize_kernels,
+    "kernels_backend": _normalize_kernels_backend,
     "link_goodput": _normalize_link_goodput,
 }
 
