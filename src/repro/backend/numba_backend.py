@@ -41,6 +41,7 @@ The numpy backend keeps the historical split — compare like with like.
 from __future__ import annotations
 
 import warnings
+from typing import Any
 
 import numpy as np
 
@@ -56,12 +57,12 @@ try:
 except ImportError:  # pragma: no cover - exercised via the CI numba leg
     NUMBA_AVAILABLE = False
 
-    def njit(*args, **kwargs):  # type: ignore[misc]
+    def njit(*args: Any, **kwargs: Any) -> Any:  # type: ignore[misc]
         """Identity decorator: keeps the kernels testable without numba."""
         if args and callable(args[0]):
             return args[0]
 
-        def wrap(fn):
+        def wrap(fn: Any) -> Any:
             return fn
 
         return wrap
@@ -76,13 +77,13 @@ _HASH_IDS = {"one_at_a_time": 0, "lookup3": 1, "salsa20": 2}
 
 
 @njit(cache=True)
-def _rotl(x, k):
+def _rotl(x: np.uint64, k: np.uint64) -> np.uint64:
     """32-bit left rotation of a masked (< 2^32) uint64 value."""
     return ((x << k) & _M32) | (x >> (np.uint64(32) - k))
 
 
 @njit(cache=True)
-def _oaat_word(s, d):
+def _oaat_word(s: np.uint64, d: np.uint64) -> np.uint64:
     """Jenkins one-at-a-time of the 4+4 little-endian bytes of (s, d)."""
     h = np.uint64(0)
     for w in (s, d):
@@ -98,7 +99,7 @@ def _oaat_word(s, d):
 
 
 @njit(cache=True)
-def _lookup3_word(s, d):
+def _lookup3_word(s: np.uint64, d: np.uint64) -> np.uint64:
     """Jenkins lookup3 ``hashword`` of the two words (s, d).
 
     Each ``final()`` step is ``x = (x ^ y) - rot(y, k)`` mod 2^32, written
@@ -119,7 +120,7 @@ def _lookup3_word(s, d):
 
 
 @njit(cache=True)
-def _salsa20_word(s, d):
+def _salsa20_word(s: np.uint64, d: np.uint64) -> np.uint64:
     """Salsa20 core (20 rounds) as a (state, data) -> word mixer.
 
     Input block: "expand 32-byte k" constants on the diagonal, state in
@@ -184,7 +185,7 @@ def _salsa20_word(s, d):
 
 
 @njit(cache=True)
-def _hash_word(hid, s, d):
+def _hash_word(hid: int, s: np.uint64, d: np.uint64) -> np.uint64:
     if hid == 0:
         return _oaat_word(s, d)
     elif hid == 1:
@@ -193,15 +194,18 @@ def _hash_word(hid, s, d):
 
 
 @njit(cache=True)
-def _hash_flat(hid, states, datas, out):
+def _hash_flat(hid: int, states: np.ndarray, datas: np.ndarray,
+               out: np.ndarray) -> None:
     """Elementwise hash of equal-length flat uint32 arrays into ``out``."""
     for i in range(states.size):
         out[i] = _hash_word(hid, np.uint64(states[i]), np.uint64(datas[i]))
 
 
 @njit(cache=True)
-def _branch_awgn(hid, states, slots, vre, vim, cre, cim, have_csi,
-                 levels, c, out):
+def _branch_awgn(hid: int, states: np.ndarray, slots: np.ndarray,
+                 vre: np.ndarray, vim: np.ndarray, cre: np.ndarray,
+                 cim: np.ndarray, have_csi: bool,
+                 levels: np.ndarray, c: int, out: np.ndarray) -> None:
     """Fused AWGN/fading branch costs: states (n,) -> out (n,).
 
     Slot loop ascends so the accumulation order equals numpy's sequential
@@ -230,7 +234,8 @@ def _branch_awgn(hid, states, slots, vre, vim, cre, cim, have_csi,
 
 
 @njit(cache=True)
-def _branch_bsc(hid, states, slots, values, out):
+def _branch_bsc(hid: int, states: np.ndarray, slots: np.ndarray,
+                values: np.ndarray, out: np.ndarray) -> None:
     """Fused BSC branch costs (Hamming distance on the low hash bit)."""
     for i in range(states.size):
         s = np.uint64(states[i])
@@ -243,8 +248,11 @@ def _branch_bsc(hid, states, slots, values, out):
 
 
 @njit(cache=True)
-def _branch_awgn_batch(hid, states, slots, vre, vim, cre, cim, have_csi,
-                       levels, c, out):
+def _branch_awgn_batch(hid: int, states: np.ndarray, slots: np.ndarray,
+                       vre: np.ndarray, vim: np.ndarray, cre: np.ndarray,
+                       cim: np.ndarray, have_csi: bool,
+                       levels: np.ndarray, c: int,
+                       out: np.ndarray) -> None:
     """Batch AWGN/fading: states (M, n), per-message rows (M, s)."""
     for m in range(states.shape[0]):
         _branch_awgn(hid, states[m], slots, vre[m], vim[m], cre[m], cim[m],
@@ -252,7 +260,8 @@ def _branch_awgn_batch(hid, states, slots, vre, vim, cre, cim, have_csi,
 
 
 @njit(cache=True)
-def _branch_bsc_batch(hid, states, slots, values, out):
+def _branch_bsc_batch(hid: int, states: np.ndarray, slots: np.ndarray,
+                      values: np.ndarray, out: np.ndarray) -> None:
     """Batch BSC: states (M, n), per-message value rows (M, s)."""
     for m in range(states.shape[0]):
         _branch_bsc(hid, states[m], slots, values[m], out[m])

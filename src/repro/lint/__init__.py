@@ -16,15 +16,31 @@ that a ``grep`` cannot see through an import alias:
 - no width-ambiguous dtypes or mixed ``math.fsum``/``sum`` accumulation
   in cost code (``no-float-env-drift``).
 
+On top of those per-file rules sits the **contract layer**
+(:mod:`repro.lint.contracts`), which reasons across modules over a
+shared :class:`~repro.lint.contracts.ModuleGraph`:
+
+- every backend implements the full ``Backend`` registry with
+  reference-identical kernel signatures (``backend-parity``),
+- kernel dtype flow is sound: no unmasked uint arithmetic, bare-literal
+  promotion, or complex multiplies in ``@njit``/backend kernels, and no
+  float-width conversion drift between a backend pair
+  (``kernel-dtype-flow``),
+- nothing reachable from a multiprocessing worker entry point rebinds a
+  module global without a guarded-memo fence (``fork-fence-safety``).
+
 :mod:`repro.lint.engine` provides the visitor framework (import/alias
 resolution, per-line ``# repro: disable=<rule>`` suppressions with
-unused-suppression detection); :mod:`repro.lint.rules` the rules;
-:mod:`repro.lint.config` the per-directory policies (``obs/`` may read
-the clock, ``tests/`` may time, benchmarks may not); and
-``python -m repro.lint`` the CLI with text and JSON output.
+unused-suppression detection, and the module graph handed to cross-file
+rules); :mod:`repro.lint.rules` the rules; :mod:`repro.lint.config` the
+per-directory policies (``obs/`` may read the clock, ``tests/`` may
+time, benchmarks may not); and ``python -m repro.lint`` the CLI with
+text, JSON, and SARIF output plus git-aware ``--changed-only``
+selection.
 """
 
 from repro.lint.config import DEFAULT_CONFIG, LintConfig, Policy, rules_for
+from repro.lint.contracts import ModuleGraph
 from repro.lint.engine import Finding, Linter, LintReport
 from repro.lint.rules import RULES
 
@@ -34,6 +50,7 @@ __all__ = [
     "LintConfig",
     "LintReport",
     "Linter",
+    "ModuleGraph",
     "Policy",
     "RULES",
     "rules_for",

@@ -4,7 +4,16 @@ Exit status is 0 when every checked file is clean and 1 when any finding
 survives suppression, so CI can gate on it directly (it replaced the old
 ``grep``-based wall-clock check).  ``--json`` prints the machine-readable
 report to stdout; ``--output`` additionally writes it to a file (the CI
-failure artifact) regardless of the stdout format.
+failure artifact) regardless of the stdout format; ``--sarif`` writes a
+SARIF 2.1.0 projection of the same findings for code-scanning upload.
+
+``--changed-only`` narrows the file set to what ``git`` reports as
+modified (vs ``HEAD``) or untracked — the fast pre-commit loop.  Outside
+a git repository (or if ``git`` fails) it falls back to the full walk,
+so the flag can never silently lint nothing.  Note the cross-file
+contract rules see a module graph of only the selected files under this
+flag: pair-wise checks like backend parity need both sides selected to
+fire, so CI always runs the full walk.
 """
 
 from __future__ import annotations
@@ -12,10 +21,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 
 from repro.lint.config import DEFAULT_CONFIG
-from repro.lint.engine import Linter, LintReport
+from repro.lint.engine import Linter, LintReport, iter_python_files
 from repro.lint.rules import RULES
 
 __all__ = ["main"]
@@ -36,6 +46,30 @@ def _list_rules() -> int:
         print(f"  {policy.prefix}: {disabled}")
         print(f"      {policy.note}")
     return 0
+
+
+def _git_changed_files(root: str) -> set[str] | None:
+    """Absolute paths of modified + untracked files, or None if git fails.
+
+    ``git diff --name-only HEAD`` covers staged and unstaged edits;
+    ``git ls-files --others --exclude-standard`` adds new files no commit
+    knows about yet.  Paths come back repo-relative, so they are resolved
+    against the repo's own toplevel (which need not equal ``root``).
+    """
+    def run(*cmd: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *cmd], cwd=root, capture_output=True, text=True,
+            check=True)
+        return [line for line in proc.stdout.splitlines() if line]
+
+    try:
+        toplevel = run("rev-parse", "--show-toplevel")[0]
+        names = run("diff", "--name-only", "HEAD")
+        names += run("ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.CalledProcessError, IndexError):
+        return None
+    return {os.path.abspath(os.path.join(toplevel, name))
+            for name in names}
 
 
 def _render_text(report: LintReport) -> str:
@@ -64,6 +98,19 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the JSON report to PATH (written on success and "
              "failure; CI uploads it as the findings artifact)")
     parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write the findings as SARIF 2.1.0 to PATH (CI uploads "
+             "it to code scanning; the --output JSON artifact is "
+             "unchanged)")
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files git reports as modified (vs HEAD) or "
+             "untracked, intersected with the given paths; falls back to "
+             "the full walk outside a git repository.  Cross-file "
+             "contract rules only see the selected files, so pair-wise "
+             "checks (backend-parity, dtype drift) need both sides "
+             "changed to fire — CI runs the full walk")
+    parser.add_argument(
         "--rules", metavar="ID[,ID...]", default=None,
         help="run exactly these rule ids, ignoring directory policies")
     parser.add_argument(
@@ -87,14 +134,27 @@ def main(argv: list[str] | None = None) -> int:
                          "see --list-rules")
 
     linter = Linter(rules=forced, root=args.root)
-    report = linter.lint_paths(args.paths)
+    paths = list(args.paths)
+    if args.changed_only:
+        changed = _git_changed_files(args.root or os.getcwd())
+        if changed is not None:
+            paths = [p for p in iter_python_files(paths)
+                     if os.path.abspath(p) in changed]
+    report = linter.lint_paths(paths)
     payload = report.as_dict()
 
-    if args.output:
-        parent = os.path.dirname(os.path.abspath(args.output))
+    def write_json(path: str, document: dict) -> None:
+        parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        with open(args.output, "w", encoding="utf-8") as f:
-            f.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
+
+    if args.output:
+        write_json(args.output, payload)
+    if args.sarif:
+        from repro.lint.sarif import sarif_report
+
+        write_json(args.sarif, sarif_report(report))
 
     if args.json:
         print(json.dumps(payload, sort_keys=True, indent=2))

@@ -18,7 +18,14 @@ inline exemptions:
   under an ad-hoc grep exclusion.)
 - ``tests`` may time and use ad-hoc randomness locally: the suite
   *asserts* library determinism, it does not need to be deterministic
-  itself (hypothesis, timing-tolerance checks).
+  itself (hypothesis, timing-tolerance checks).  ``kernel-dtype-flow``
+  is also off here: the equivalence tests (``test_backend.py`` — a
+  ``*_backend`` stem) recompute reference costs with straight-line
+  complex numpy on purpose, to check the kernels *against* the
+  convenient formulation the rule bans inside kernels.
+- ``examples`` runs single-process by design (the README quickstarts);
+  ``fork-fence-safety`` reasons about multiprocessing workers and has
+  nothing true to say about code that never forks.
 - ``tests/lint_fixtures`` is the deliberate-violation corpus; it is
   linted only with explicit rule sets by ``tests/test_lint.py``.
 """
@@ -78,7 +85,10 @@ DEFAULT_CONFIG = LintConfig(policies=(
               "every rule applies in full from day one — timing goes "
               "through repro.obs.clock, widths are explicit, and any "
               "nondeterminism here would silently break the "
-              "cross-backend equivalence matrix"),
+              "cross-backend equivalence matrix; the contract rules "
+              "(backend-parity, kernel-dtype-flow, fork-fence-safety) "
+              "were written for this directory and are likewise "
+              "undiluted"),
     ),
     Policy(
         prefix="src/repro/obs",
@@ -97,19 +107,28 @@ DEFAULT_CONFIG = LintConfig(policies=(
     ),
     Policy(
         prefix="examples",
-        disable=frozenset(),
-        note="examples are library clients and follow library rules",
+        disable=frozenset({"fork-fence-safety"}),
+        note=("examples are library clients and follow library rules; "
+              "fork-fence-safety is off because the quickstarts are "
+              "single-process by design — the rule reasons about "
+              "multiprocessing worker reachability and would only ever "
+              "fire here on a false pattern match"),
     ),
     Policy(
         prefix="tests",
         disable=frozenset({
             "no-wallclock", "no-unseeded-rng",
             "no-float-env-drift", "canonical-serialization",
+            "kernel-dtype-flow",
         }),
         note=("tests assert library determinism but may time, randomize, "
               "and build loose-dtype fixtures locally — including "
               "deliberately non-canonical store files (the quarantine "
-              "tests) that the serialization rule would flag"),
+              "tests) that the serialization rule would flag; "
+              "kernel-dtype-flow is off because the backend equivalence "
+              "suite (test_backend.py, a *_backend stem) deliberately "
+              "recomputes kernel outputs with the convenient complex "
+              "formulation to check the decomposed kernels against it"),
     ),
     Policy(
         prefix="tests/lint_fixtures",

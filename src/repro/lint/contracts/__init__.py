@@ -1,0 +1,46 @@
+"""Contract layer: cross-module analyses on top of the per-file engine.
+
+Where the six PR-7 rules each look at one module in isolation, the rules
+in this package reason about *relationships between modules* — the
+backend seam's signature contract, dtype flow through ``@njit`` kernels
+and its drift across a backend pair, and what multiprocessing workers
+can reach.  They run on a :class:`~repro.lint.contracts.modgraph.\
+ModuleGraph` built once per lint invocation from every parseable file,
+and their findings ride the exact same suppression, per-directory
+policy, ``--json``/SARIF and exit-code plumbing as the per-file rules.
+
+Rules:
+
+- ``backend-parity`` (:mod:`.parity`) — Backend registry completeness
+  and kernel signature parity against the reference backend;
+- ``kernel-dtype-flow`` (:mod:`.dtypeflow`) — abstract interpretation
+  over a numpy dtype lattice: unmasked uint arithmetic, bare-literal
+  promotion, complex multiplies in kernels, cross-backend float-width
+  drift;
+- ``fork-fence-safety`` (:mod:`.forksafety`) — unguarded module-global
+  mutation reachable from a worker entry point.
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts.dtypeflow import KernelDtypeFlow
+from repro.lint.contracts.forksafety import ForkFenceSafety
+from repro.lint.contracts.modgraph import (
+    ModuleGraph,
+    ModuleInfo,
+    module_name_for_path,
+)
+from repro.lint.contracts.parity import BackendParity
+
+__all__ = [
+    "BackendParity",
+    "CONTRACT_RULES",
+    "ForkFenceSafety",
+    "KernelDtypeFlow",
+    "ModuleGraph",
+    "ModuleInfo",
+    "module_name_for_path",
+]
+
+#: The contract rules, in registry order.
+CONTRACT_RULES = (BackendParity(), KernelDtypeFlow(), ForkFenceSafety())

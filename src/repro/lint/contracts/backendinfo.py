@@ -1,0 +1,76 @@
+"""Backend-package discovery: which modules form a backend seam.
+
+The contract rules must work on any file set (the live tree, the fixture
+corpus, a scratch directory), so "the backend package" is recognised
+structurally rather than by hard-coded path:
+
+- a **base module**: any module in the package defining a class named
+  ``Backend`` (the frozen kernel-family descriptor);
+- **backend modules**: sibling modules defining a top-level
+  ``make_backend`` function (the registry's lazy factories);
+- the **reference backend**: the module stem ``numpy_backend`` when
+  present (the repo's bit-exactness contract), otherwise the
+  alphabetically first backend module — deterministic either way.
+
+A package missing either half is simply not a backend package and no
+contract rule fires, so the rules are inert on unrelated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.contracts.modgraph import ModuleGraph, ModuleInfo
+
+__all__ = ["BackendPackage", "find_backend_packages", "is_kernel_module"]
+
+#: The stem every concrete backend module ends with, by convention.
+BACKEND_STEM_SUFFIX = "_backend"
+
+#: The stem of the reference implementation (the contract).
+REFERENCE_STEM = "numpy_backend"
+
+
+def _stem(info: ModuleInfo) -> str:
+    return info.name.rsplit(".", 1)[-1]
+
+
+def is_kernel_module(info: ModuleInfo) -> bool:
+    """True for modules holding backend kernels (dtype rules apply)."""
+    return (_stem(info).endswith(BACKEND_STEM_SUFFIX)
+            or "make_backend" in info.functions)
+
+
+@dataclass(frozen=True)
+class BackendPackage:
+    """One discovered backend seam: base contract + its implementations."""
+
+    package: str
+    base: ModuleInfo
+    backends: tuple[ModuleInfo, ...]
+
+    @property
+    def reference(self) -> ModuleInfo:
+        for info in self.backends:
+            if _stem(info) == REFERENCE_STEM:
+                return info
+        return self.backends[0]
+
+    def others(self) -> tuple[ModuleInfo, ...]:
+        ref = self.reference
+        return tuple(b for b in self.backends if b is not ref)
+
+
+def find_backend_packages(graph: ModuleGraph) -> list[BackendPackage]:
+    """All backend seams in the graph, in package order."""
+    out: list[BackendPackage] = []
+    for package, infos in sorted(graph.packages().items()):
+        base = next(
+            (info for info in infos if "Backend" in info.classes), None)
+        backends = tuple(
+            info for info in infos if "make_backend" in info.functions)
+        if base is None or not backends:
+            continue
+        out.append(BackendPackage(
+            package=package, base=base, backends=backends))
+    return out

@@ -1,0 +1,602 @@
+"""``kernel-dtype-flow``: abstract interpretation over the numpy dtype lattice.
+
+PR 9 made bit-identical output the backend contract and fixed three bug
+classes by hand: unmasked ``uint`` subtraction underflowing in the scalar
+hash kernels, complex multiplies whose rounding depends on host FMA
+contraction, and implicit dtype promotion drifting between backends.
+This pass makes those classes *static*: a per-function abstract
+interpreter assigns every expression a value from a small dtype lattice
+
+    uint8..uint64 | int8..int64/intp | float16..float64 | complex64/128
+    | bool | python-scalar (pyint / pyfloat / pycomplex) | unknown
+
+and transfer functions model the constructs the kernels actually use:
+dtype constructor calls (``np.uint64(x)``), ``.astype``, array factories
+with ``dtype=``, annotated parameters, module-level constants
+(``_M32 = np.uint64(0xFFFFFFFF)``), local dtype aliases
+(``_U32 = np.uint32``), ``.real``/``.imag`` projection, and binop
+promotion.  Inference is deliberately conservative: an expression the
+lattice cannot type is ``unknown``, and every check requires *known*
+operands — the pass can miss, but not hallucinate, a violation.
+
+Checks, in decreasing order of bite:
+
+1. **Unmasked uint subtraction/addition inside ``@njit`` kernels** — the
+   exact PR-9 underflow class.  ``x - y`` on two uint values is flagged
+   unless (a) the expression sits under a ``& mask`` in the same
+   statement, (b) the left operand is a compile-time constant (the
+   sanctioned rewrite ``x + (2^32 - y)`` puts the constant on the left,
+   where it cannot underflow), or (c) it is the mask-construction idiom
+   ``(1 << c) - 1`` (left shift of one, minus literal one — always
+   nonnegative).
+2. **Bare Python literals promoting uint arithmetic** in ``@njit``
+   kernels: a float literal silently converts the whole expression to
+   float64; an int literal leaves the width to numba's inference.  Both
+   must be spelled with the kernel's dtype (``np.uint64(...)``).
+3. **Complex multiplies in backend kernel modules** (``*_backend`` stems
+   or any module defining ``make_backend``): a ``complex * x`` product
+   compiles to FMA-contracted code on capable hosts, making the last ulp
+   machine-dependent — the incident the numpy CSI metric rewrite fixed.
+   Backends must decompose into separately-rounded real ops.
+4. **Cross-backend conversion drift** (the cross-file half): for every
+   kernel function name a backend pair shares, the float/complex dtypes
+   it explicitly converts to must be a subset of the reference backend's
+   for that kernel — a mirror that computes in float32 where the
+   reference uses float64 cannot be bit-identical.
+
+``@njit`` identity is resolved through the numba-absent shim (see
+:mod:`repro.lint.contracts.modgraph`), so the pass sees the same kernels
+whether or not numba is installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.contracts.backendinfo import (
+    find_backend_packages,
+    is_kernel_module,
+)
+from repro.lint.contracts.modgraph import ModuleGraph, ModuleInfo
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+__all__ = ["KernelDtypeFlow"]
+
+#: Resolved dotted names of numpy dtype constructors -> lattice value.
+_DTYPE_CTORS = {
+    "numpy.uint8": "uint8", "numpy.uint16": "uint16",
+    "numpy.uint32": "uint32", "numpy.uint64": "uint64",
+    "numpy.int8": "int8", "numpy.int16": "int16",
+    "numpy.int32": "int32", "numpy.int64": "int64",
+    "numpy.intp": "intp",
+    "numpy.float16": "float16", "numpy.float32": "float32",
+    "numpy.float64": "float64",
+    "numpy.complex64": "complex64", "numpy.complex128": "complex128",
+    "numpy.bool_": "bool",
+}
+
+#: Array factories whose ``dtype=`` keyword types the result.
+_ARRAY_FACTORIES = frozenset({
+    "numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full",
+    "numpy.array", "numpy.asarray", "numpy.ascontiguousarray",
+    "numpy.arange", "numpy.frombuffer", "numpy.fromiter",
+})
+
+_UINTS = frozenset({"uint8", "uint16", "uint32", "uint64"})
+_FLOATS = frozenset({"float16", "float32", "float64", "pyfloat"})
+_COMPLEXES = frozenset({"complex64", "complex128", "pycomplex"})
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+              ast.Mod, ast.Pow, ast.LShift, ast.RShift)
+
+
+def _is_uint(d: str | None) -> bool:
+    return d in _UINTS
+
+
+def _is_complex(d: str | None) -> bool:
+    return d in _COMPLEXES
+
+
+def _is_float(d: str | None) -> bool:
+    return d in _FLOATS
+
+
+def _width(d: str) -> int:
+    for n in (128, 64, 32, 16, 8):
+        if d.endswith(str(n)):
+            return n
+    return 64
+
+
+def promote(a: str | None, b: str | None) -> str | None:
+    """Joined dtype of a binary operation (None = unknown)."""
+    if _is_complex(a) or _is_complex(b):
+        return "complex128"
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    for known, other in ((a, b), (b, a)):
+        if other == "pyint":
+            return known if known != "pyint" else "pyint"
+        if other == "pyfloat":
+            return "float64" if known not in _FLOATS else "float64"
+    if _is_float(a) or _is_float(b):
+        fa = [d for d in (a, b) if _is_float(d)]
+        return max(fa, key=_width) if len(fa) == 2 else "float64"
+    if _is_uint(a) and _is_uint(b):
+        return max(a, b, key=_width)
+    return None
+
+
+class _ModuleEnv:
+    """Module-level dtype facts: constants and dtype aliases."""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        #: name -> dtype of the module-level constant it is bound to.
+        self.values: dict[str, str] = {}
+        #: names whose value is a compile-time constant (safe-left-operand
+        #: set for the sanctioned ``const - x`` subtraction form).
+        self.consts: set[str] = set()
+        #: name -> dtype, for aliases like ``_U32 = np.uint32``.
+        self.ctors: dict[str, str] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            ctor = self.dtype_ref(node.value)
+            if ctor is not None:
+                self.ctors[target.id] = ctor
+                continue
+            dtype = self._const_value_dtype(node.value)
+            if dtype is not None:
+                self.values[target.id] = dtype
+                self.consts.add(target.id)
+
+    def dtype_ref(self, node: ast.AST) -> str | None:
+        """Lattice value a *reference* names (``np.float64``, ``_U32``)."""
+        resolved = self.ctx.resolve(node)
+        if resolved in _DTYPE_CTORS:
+            return _DTYPE_CTORS[resolved]
+        if isinstance(node, ast.Name) and node.id in self.ctors:
+            return self.ctors[node.id]
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in _DTYPE_CTORS.values()):
+            return node.value
+        return None
+
+    def _const_value_dtype(self, node: ast.AST) -> str | None:
+        """Dtype of a compile-time constant expression, if it is one."""
+        if isinstance(node, ast.Call) and not node.keywords:
+            ctor = self.dtype_ref(node.func)
+            if (ctor is not None and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)):
+                return ctor
+        return None
+
+    def is_const_like(self, node: ast.AST) -> bool:
+        """Compile-time constant: literal, ctor(literal), const name."""
+        if isinstance(node, ast.Constant):
+            return True
+        if isinstance(node, ast.Name) and node.id in self.consts:
+            return True
+        return self._const_value_dtype(node) is not None
+
+
+def _literal_kind(node: ast.AST) -> str | None:
+    """'pyint'/'pyfloat' when the node is a bare numeric literal."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and not isinstance(node.value, bool):
+        if isinstance(node.value, int):
+            return "pyint"
+        if isinstance(node.value, float):
+            return "pyfloat"
+    return None
+
+
+class _FunctionPass:
+    """Two forward passes over one function: infer, then check+emit.
+
+    The first pass populates the local environment (so loop-carried
+    bindings like ``h`` reassigned inside the mixing loop are typed on
+    re-entry); the second evaluates with a stable environment and emits
+    findings.  Emission is deduplicated by source location, so revisiting
+    a loop body cannot double-report.
+    """
+
+    def __init__(self, rule: "KernelDtypeFlow", ctx: ModuleContext,
+                 fn: ast.FunctionDef, module_env: _ModuleEnv,
+                 is_njit: bool, in_kernel_module: bool):
+        self.rule = rule
+        self.ctx = ctx
+        self.fn = fn
+        self.module_env = module_env
+        self.is_njit = is_njit
+        self.in_kernel_module = in_kernel_module
+        self.env: dict[str, str] = {}
+        self.findings: list[Finding] = []
+        self._emitted: set[tuple[int, int, str]] = set()
+        self._return_dtypes: dict[str, str] = {}
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                dtype = self._annotation_dtype(arg.annotation)
+                if dtype is not None:
+                    self.env[arg.arg] = dtype
+
+    def run(self) -> list[Finding]:
+        # Same-module return annotations let calls like ``_rotl(...)``
+        # carry their dtype into the caller's expressions.
+        for node in self.ctx.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.returns is not None:
+                dtype = self._annotation_dtype(node.returns)
+                if dtype is not None:
+                    self._return_dtypes[node.name] = dtype
+        self._exec_block(self.fn.body, emitting=False)
+        self._exec_block(self.fn.body, emitting=True)
+        return self.findings
+
+    # -- environment / statements -----------------------------------------
+
+    def _annotation_dtype(self, node: ast.AST) -> str | None:
+        return self.module_env.dtype_ref(node)
+
+    def _exec_block(self, stmts: list[ast.stmt], emitting: bool) -> None:
+        for stmt in stmts:
+            self._exec(stmt, emitting)
+
+    def _exec(self, stmt: ast.stmt, emitting: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            dtype = self._eval(stmt.value, emitting)
+            for target in stmt.targets:
+                self._bind(target, dtype)
+        elif isinstance(stmt, ast.AnnAssign):
+            dtype = self._annotation_dtype(stmt.annotation)
+            if dtype is None and stmt.value is not None:
+                dtype = self._eval(stmt.value, emitting)
+            elif stmt.value is not None:
+                self._eval(stmt.value, emitting)
+            if isinstance(stmt.target, ast.Name) and dtype is not None:
+                self.env[stmt.target.id] = dtype
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, emitting)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id)
+                self.env[stmt.target.id] = promote(current, value) or ""
+                if not self.env[stmt.target.id]:
+                    del self.env[stmt.target.id]
+        elif isinstance(stmt, ast.For):
+            it_dtype = self._iter_dtype(stmt.iter, emitting)
+            self._bind(stmt.target, it_dtype)
+            self._exec_block(stmt.body, emitting)
+            self._exec_block(stmt.orelse, emitting)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, emitting)
+            self._exec_block(stmt.body, emitting)
+            self._exec_block(stmt.orelse, emitting)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, emitting)
+            self._exec_block(stmt.body, emitting)
+            self._exec_block(stmt.orelse, emitting)
+        elif isinstance(stmt, ast.With):
+            self._exec_block(stmt.body, emitting)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, emitting)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, emitting)
+            self._exec_block(stmt.orelse, emitting)
+            self._exec_block(stmt.finalbody, emitting)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self._eval(stmt.value, emitting)
+        # nested defs/classes: out of scope for the kernel lattice
+
+    def _bind(self, target: ast.AST, dtype: str | None) -> None:
+        if isinstance(target, ast.Name):
+            if dtype is not None:
+                self.env[target.id] = dtype
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None)
+
+    def _iter_dtype(self, node: ast.expr, emitting: bool) -> str | None:
+        self._eval(node, emitting)
+        if isinstance(node, ast.Call):
+            name = self.ctx.call_name(node)
+            if name is None and isinstance(node.func, ast.Name) \
+                    and node.func.id == "range":
+                return "pyint"
+        if isinstance(node, (ast.Tuple, ast.List)) and node.elts:
+            dtypes = {self._eval(elt, emitting=False) for elt in node.elts}
+            if len(dtypes) == 1:
+                return dtypes.pop()
+        return None
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, emitting: bool) -> str | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return "bool"
+            if isinstance(node.value, int):
+                return "pyint"
+            if isinstance(node.value, float):
+                return "pyfloat"
+            if isinstance(node.value, complex):
+                return "pycomplex"
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.module_env.values.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, emitting)
+            if node.attr in ("real", "imag"):
+                if _is_complex(base):
+                    return "float64"
+                return base if _is_float(base) else None
+            if node.attr == "T":
+                return base
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, emitting)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, emitting)
+            right = self._eval(node.right, emitting)
+            if emitting:
+                self._check_binop(node, left, right)
+            if isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor,
+                                    ast.LShift, ast.RShift)):
+                return promote(left, right) if (
+                    _is_uint(left) or _is_uint(right)) else None
+            if isinstance(node.op, _ARITH_OPS):
+                return promote(left, right)
+            return None
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, emitting)
+            a = self._eval(node.body, emitting)
+            b = self._eval(node.orelse, emitting)
+            return a if a == b else None
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value, emitting)
+            if isinstance(node.slice, ast.expr):
+                self._eval(node.slice, emitting)
+            return base
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, emitting)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, emitting)
+            for comp in node.comparators:
+                self._eval(comp, emitting)
+            return "bool"
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt, emitting)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value, emitting)
+            return "bool"
+        return None
+
+    def _eval_call(self, node: ast.Call, emitting: bool) -> str | None:
+        if isinstance(node.func, ast.Attribute):
+            # Visit the receiver: the interesting expression often sits
+            # there (``np.abs(a * b).astype(...)``).
+            self._eval(node.func.value, emitting)
+        for arg in node.args:
+            self._eval(arg, emitting)
+        for kw in node.keywords:
+            self._eval(kw.value, emitting)
+        ctor = self.module_env.dtype_ref(node.func)
+        if ctor is not None:
+            return ctor
+        name = self.ctx.call_name(node)
+        if name in _ARRAY_FACTORIES:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    return self.module_env.dtype_ref(kw.value)
+            return None
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype" and node.args):
+            return self.module_env.dtype_ref(node.args[0])
+        if isinstance(node.func, ast.Name):
+            return self._return_dtypes.get(node.func.id)
+        return None
+
+    # -- checks ------------------------------------------------------------
+
+    def _emit(self, node: ast.AST, message: str, hint: str) -> None:
+        key = (getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), message)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.findings.append(
+            self.rule.finding(self.ctx, node, message, hint))
+
+    def _masked(self, node: ast.AST) -> bool:
+        """True when an ancestor in the same expression is ``& mask``."""
+        current: ast.AST | None = node
+        while current is not None and isinstance(current, ast.expr):
+            if (isinstance(current, ast.BinOp)
+                    and isinstance(current.op, ast.BitAnd)):
+                return True
+            current = self.ctx.parent(current)
+        return False
+
+    def _is_mask_construction(self, node: ast.BinOp) -> bool:
+        """The ``(1 << c) - 1`` idiom: nonnegative by construction."""
+        right = node.right
+        if isinstance(right, ast.Call) and len(right.args) == 1:
+            if self.module_env.dtype_ref(right.func) is not None:
+                right = right.args[0]
+        if not (isinstance(right, ast.Constant) and right.value == 1):
+            return False
+        left = node.left
+        return isinstance(left, ast.BinOp) and isinstance(
+            left.op, ast.LShift)
+
+    def _check_binop(self, node: ast.BinOp,
+                     left: str | None, right: str | None) -> None:
+        op = node.op
+        if self.in_kernel_module and isinstance(op, ast.Mult):
+            if _is_complex(left) or _is_complex(right):
+                self._emit(
+                    node,
+                    "complex multiply in a backend kernel: the compiler "
+                    "may contract it into FMAs, making the last ulp "
+                    "host-dependent",
+                    hint=("decompose into separately-rounded real ops "
+                          "(re = a.re*b.re - a.im*b.im, "
+                          "im = a.re*b.im + a.im*b.re), as the numpy "
+                          "reference CSI metric does"))
+        if not self.is_njit:
+            return
+        if isinstance(op, (ast.Add, ast.Sub)) and _is_uint(left) \
+                and _is_uint(right):
+            allowed = self._masked(node)
+            if not allowed and isinstance(op, ast.Sub):
+                allowed = (self.module_env.is_const_like(node.left)
+                           or self._is_mask_construction(node))
+            if not allowed:
+                kind = "subtraction" if isinstance(op, ast.Sub) else \
+                    "addition"
+                self._emit(
+                    node,
+                    f"unmasked uint {kind} in an @njit kernel: the "
+                    "intermediate can leave [0, 2^32) and diverge from "
+                    "the reference's native uint32 wrap-around",
+                    hint=("mask the result (`(...) & MASK32`); for "
+                          "subtraction use the sanctioned rewrite "
+                          "`x - y` -> `(x + (2**32 - y)) & MASK32`"))
+        if isinstance(op, _ARITH_OPS):
+            for operand, other in ((node.left, right), (node.right, left)):
+                lit = _literal_kind(operand)
+                if lit is None or not _is_uint(other):
+                    continue
+                if lit == "pyfloat":
+                    self._emit(
+                        operand,
+                        "bare float literal promotes uint arithmetic to "
+                        "float64 inside an @njit kernel",
+                        hint=("keep hash arithmetic integral; spell "
+                              "constants with the kernel's dtype "
+                              "(np.uint64(...))"))
+                else:
+                    self._emit(
+                        operand,
+                        "bare int literal in uint arithmetic inside an "
+                        "@njit kernel leaves the width to inference",
+                        hint=("wrap the constant in the kernel's dtype "
+                              "(np.uint64(...)) so both operands have "
+                              "one stated width"))
+
+
+def _conversion_dtypes(
+    info: ModuleInfo, graph: ModuleGraph, fn_name: str
+) -> dict[str, ast.AST]:
+    """Float/complex conversion targets in a kernel + same-module callees."""
+    module_env = _ModuleEnv(info.ctx)
+    out: dict[str, ast.AST] = {}
+    reachable = [key for key in graph.reachable([(info.name, fn_name)])
+                 if key[0] == info.name]
+    for _, name in sorted(reachable):
+        fn = info.functions.get(name)
+        if fn is None:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            dtype = None
+            ctor = module_env.dtype_ref(node.func)
+            if ctor is not None and node.args:
+                dtype = ctor
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "astype" and node.args):
+                dtype = module_env.dtype_ref(node.args[0])
+            if dtype is None:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        dtype = module_env.dtype_ref(kw.value)
+            if dtype is not None and (dtype in _FLOATS
+                                      or dtype in _COMPLEXES):
+                out.setdefault(dtype, node)
+    return out
+
+
+class KernelDtypeFlow(Rule):
+    """Dtype-flow analysis of backend kernels (see the module docstring)."""
+
+    id = "kernel-dtype-flow"
+    description = ("unmasked uint arithmetic, bare-literal promotion, or "
+                   "complex multiplies in @njit/backend kernels; "
+                   "float-width conversion drift across a backend pair")
+    hint = ("keep kernel arithmetic width-stated and masked; see "
+            "repro.backend.numba_backend's docstring for the sanctioned "
+            "forms")
+    cross_file = True
+
+    def run(self, ctx: ModuleContext) -> Iterable[Finding]:
+        from repro.lint.contracts.modgraph import (
+            is_njit_decorated,
+            module_name_for_path,
+        )
+        info = ModuleInfo(module_name_for_path(ctx.path), ctx)
+        kernel_module = is_kernel_module(info)
+        module_env = _ModuleEnv(ctx)
+        for fn in ctx.nodes(ast.FunctionDef):
+            assert isinstance(fn, ast.FunctionDef)
+            is_njit = is_njit_decorated(ctx, fn)
+            if not (is_njit or kernel_module):
+                continue
+            yield from _FunctionPass(
+                self, ctx, fn, module_env,
+                is_njit=is_njit,
+                in_kernel_module=kernel_module).run()
+
+    def run_graph(self, graph: ModuleGraph) -> Iterable[Finding]:
+        # Two shared roots can reach the same offending conversion (e.g.
+        # make_backend reaches every kernel it registers); report each
+        # conversion site once, under the first root that finds it.
+        seen: set[tuple[str, int, int, str]] = set()
+        for pkg in find_backend_packages(graph):
+            ref = pkg.reference
+            for backend in pkg.others():
+                shared = sorted(
+                    set(ref.functions) & set(backend.functions))
+                for fn_name in shared:
+                    ref_dtypes = set(
+                        _conversion_dtypes(ref, graph, fn_name))
+                    if not ref_dtypes:
+                        continue
+                    ours = _conversion_dtypes(backend, graph, fn_name)
+                    for dtype in sorted(set(ours) - ref_dtypes):
+                        node = ours[dtype]
+                        key = (backend.name,
+                               getattr(node, "lineno", 1),
+                               getattr(node, "col_offset", 0), dtype)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.finding(
+                            backend.ctx, ours[dtype],
+                            f"{fn_name}() converts to {dtype} but the "
+                            f"reference backend "
+                            f"({pkg.reference.name.rsplit('.', 1)[-1]}) "
+                            f"uses only "
+                            f"{{{', '.join(sorted(ref_dtypes))}}} — "
+                            "bit-identical costs cannot survive a "
+                            "float-width change",
+                            hint=("match the reference kernel's float "
+                                  "widths exactly; widening or narrowing "
+                                  "changes IEEE rounding per operation"))

@@ -1,0 +1,233 @@
+"""Cross-file infrastructure for the contract rules: the module graph.
+
+The six PR-7 rules are deliberately per-file: each gets one
+:class:`~repro.lint.engine.ModuleContext` and never looks sideways.  The
+contract rules cannot work that way — backend signature parity is a
+statement *about a pair of modules*, and fork safety is a statement about
+what a worker entry point can reach.  :class:`ModuleGraph` is the minimal
+shared substrate:
+
+- every linted file parsed once into a :class:`ModuleInfo` (dotted module
+  name derived from its path, top-level functions and classes, resolved
+  ``@njit`` identity);
+- import edges resolved *within the graph* (absolute and relative forms),
+  so ``from repro.backend.base import Backend`` and ``from .base import
+  Backend`` both land on the same node;
+- a conservative intra/inter-module call graph: direct name calls,
+  ``module.attr`` calls through imports, from-imported functions,
+  function names assigned to variables (flow-insensitive union — the
+  ``job_fn = a if m else b`` orchestrator pattern), and functions stored
+  in module-level containers that a function later subscripts (the
+  ``_RUNNERS[kind]`` dispatch pattern).  Unresolvable calls simply add no
+  edge, so reachability under-approximates — a contract rule built on it
+  can miss, but never hallucinate, a path.
+
+``@njit`` identity is resolved through the numba-absent shim: a decorator
+counts as njit when it resolves (alias-aware) to ``numba.njit`` /
+``numba.jit``, *or* when it is literally named ``njit`` — the fallback
+identity decorator in ``repro.backend.numba_backend`` binds that exact
+name so the kernels stay importable without numba, and the dtype-flow
+rule must see through it identically in both installs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.engine import ModuleContext
+
+__all__ = ["ModuleGraph", "ModuleInfo", "module_name_for_path"]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a display path (``src/`` prefix stripped).
+
+    ``src/repro/backend/numpy_backend.py`` -> ``repro.backend.numpy_backend``;
+    paths outside a ``src`` layout keep all their components, which is
+    enough for uniqueness and for relative-import resolution inside the
+    fixture corpus.
+    """
+    norm = path.replace("\\", "/")
+    if norm.endswith(".py"):
+        norm = norm[: -len(".py")]
+    parts = [p for p in norm.split("/") if p not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _decorator_target(dec: ast.expr) -> ast.expr:
+    return dec.func if isinstance(dec, ast.Call) else dec
+
+
+def is_njit_decorated(ctx: ModuleContext, fn: ast.FunctionDef) -> bool:
+    """True when ``fn`` carries ``@njit`` (resolved or shim-named)."""
+    for dec in fn.decorator_list:
+        target = _decorator_target(dec)
+        resolved = ctx.resolve(target)
+        if resolved in ("numba.njit", "numba.jit"):
+            return True
+        if isinstance(target, ast.Name) and target.id in ("njit",):
+            return True
+    return False
+
+
+class ModuleInfo:
+    """One parsed module inside the graph."""
+
+    def __init__(self, name: str, ctx: ModuleContext):
+        self.name = name
+        self.package = name.rsplit(".", 1)[0] if "." in name else ""
+        self.ctx = ctx
+        #: Top-level functions only: the contract surface.  Nested defs and
+        #: methods are deliberately invisible to cross-module resolution.
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+        self.njit_functions: frozenset[str] = frozenset(
+            name for name, fn in self.functions.items()
+            if is_njit_decorated(ctx, fn))
+        #: Module-level names bound to containers that hold references to
+        #: this module's functions (the registry-dispatch pattern).
+        self.function_containers: dict[str, tuple[str, ...]] = {}
+        for node in ctx.tree.body:
+            if not (isinstance(node, (ast.Assign, ast.AnnAssign))
+                    and node.value is not None):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            held = tuple(
+                sub.id for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in self.functions)
+            if not held:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.function_containers[target.id] = held
+
+    def resolve_relative(self, dotted: str) -> str:
+        """Absolute dotted name for a possibly-relative import target."""
+        if not dotted.startswith("."):
+            return dotted
+        level = len(dotted) - len(dotted.lstrip("."))
+        rest = dotted[level:]
+        base = self.package.split(".") if self.package else []
+        base = base[: len(base) - (level - 1)] if level > 1 else base
+        return ".".join([p for p in base if p] + ([rest] if rest else []))
+
+
+#: ``(module, function)`` — one node of the cross-module call graph.
+FnKey = tuple[str, str]
+
+
+class ModuleGraph:
+    """All linted modules, with import and call edges resolved in-graph."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]):
+        self.modules: dict[str, ModuleInfo] = {}
+        for ctx in contexts:
+            info = ModuleInfo(module_name_for_path(ctx.path), ctx)
+            self.modules[info.name] = info
+
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def packages(self) -> dict[str, list[ModuleInfo]]:
+        """Modules grouped by (dotted) package, deterministically ordered."""
+        out: dict[str, list[ModuleInfo]] = {}
+        for info in self:
+            out.setdefault(info.package, []).append(info)
+        return out
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self.modules.get(name)
+
+    # -- cross-module reference resolution --------------------------------
+
+    def resolve_function(
+        self, info: ModuleInfo, node: ast.expr
+    ) -> FnKey | None:
+        """Resolve a Name/Attribute reference to a graph function, if any.
+
+        Handles: a function of the same module; a from-imported function
+        of a graph module (absolute or relative import); a
+        ``module.function`` attribute where the module is imported and in
+        the graph.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in info.functions:
+                return (info.name, node.id)
+            alias = info.ctx.aliases.get(node.id)
+            if alias is None:
+                return None
+            dotted = info.resolve_relative(alias)
+            mod_name, _, fn_name = dotted.rpartition(".")
+            target = self.modules.get(mod_name)
+            if target is not None and fn_name in target.functions:
+                return (mod_name, fn_name)
+            return None
+        if isinstance(node, ast.Attribute):
+            resolved = info.ctx.resolve(node)
+            if resolved is None:
+                return None
+            dotted = info.resolve_relative(resolved)
+            mod_name, _, fn_name = dotted.rpartition(".")
+            target = self.modules.get(mod_name)
+            if target is not None and fn_name in target.functions:
+                return (mod_name, fn_name)
+        return None
+
+    def callees(self, key: FnKey) -> list[FnKey]:
+        """Direct callees of one function that resolve within the graph."""
+        info = self.modules.get(key[0])
+        if info is None:
+            return []
+        fn = info.functions.get(key[1])
+        if fn is None:
+            return []
+        out: list[FnKey] = []
+        seen: set[FnKey] = set()
+
+        def add(candidate: FnKey | None) -> None:
+            if candidate is not None and candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+                    getattr(node, "ctx", None), ast.Load):
+                # Any loaded reference counts: a function passed as a
+                # value (callback, registry entry) can be called by the
+                # receiver, so reachability must follow it.
+                add(self.resolve_function(info, node))
+            elif (isinstance(node, ast.Subscript)
+                  and isinstance(node.ctx, ast.Load)
+                  and isinstance(node.value, ast.Name)
+                  and node.value.id in info.function_containers):
+                # Registry dispatch: subscripting a module-level container
+                # of functions makes every held function a possible callee.
+                for held in info.function_containers[node.value.id]:
+                    add((info.name, held))
+        return out
+
+    def reachable(self, roots: Iterable[FnKey]) -> frozenset[FnKey]:
+        """Transitive closure over :meth:`callees` from the given roots."""
+        seen: set[FnKey] = set()
+        stack = [r for r in roots]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.callees(key))
+        return frozenset(seen)

@@ -1,0 +1,182 @@
+"""``backend-parity``: every backend implements the same kernel surface.
+
+The backend seam's whole value is that ``set_backend("numba")`` is
+behaviour-preserving, which requires every backend module to expose the
+same kernels with the same calling convention.  Nothing enforced that
+until now: a backend could silently omit a kernel from its
+``Backend(...)`` registry entry (callers fall back or crash at runtime),
+or drift an argument's name/order/default so keyword call sites bind
+differently per backend.  This rule makes the parity a static fact:
+
+- **Registry completeness.**  ``base.Backend`` is the contract: its
+  annotated dataclass fields are the required kernel slots.  Every
+  ``Backend(...)`` construction inside a backend module must pass every
+  field — by keyword, so the check (and the construction) is
+  order-independent.  A missing field is reported at the construction
+  call; an unknown keyword is reported too (it would ``TypeError`` at
+  runtime, but only on the path that builds that backend).
+- **Signature parity.**  For every top-level function name the reference
+  backend (``numpy_backend``) and another backend share, the full
+  signature must match: positional-only/positional/keyword-only names
+  *and order*, defaults (by unparsed source), vararg/kwarg presence, and
+  the return annotation.  Private helpers only one side defines are fine
+  — parity is about the shared surface, not implementation strategy.
+
+Findings anchor at the drifting backend, never the reference, so the fix
+site is the report site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.contracts.backendinfo import find_backend_packages
+from repro.lint.contracts.modgraph import ModuleGraph, ModuleInfo
+from repro.lint.engine import Finding, Rule
+
+__all__ = ["BackendParity"]
+
+
+def _backend_fields(base: ModuleInfo) -> list[str]:
+    """Annotated field names of the ``Backend`` contract class, in order."""
+    cls = base.classes.get("Backend")
+    if cls is None:  # pragma: no cover - find_backend_packages guarantees it
+        return []
+    fields: list[str] = []
+    for node in cls.body:
+        if (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and not node.target.id.startswith("_")):
+            fields.append(node.target.id)
+    return fields
+
+
+def _backend_constructions(info: ModuleInfo) -> list[ast.Call]:
+    """``Backend(...)`` calls in this module (resolved or locally named)."""
+    out: list[ast.Call] = []
+    for node in info.ctx.nodes(ast.Call):
+        assert isinstance(node, ast.Call)
+        func = node.func
+        resolved = info.ctx.resolve(func)
+        if resolved is not None:
+            dotted = info.resolve_relative(resolved)
+            if dotted.rsplit(".", 1)[-1] == "Backend":
+                out.append(node)
+                continue
+        if isinstance(func, ast.Name) and func.id == "Backend":
+            out.append(node)
+    return out
+
+
+def _signature(fn: ast.FunctionDef) -> dict[str, object]:
+    """Comparable summary of a function's calling convention."""
+    args = fn.args
+
+    def names(group: list[ast.arg]) -> tuple[str, ...]:
+        return tuple(a.arg for a in group)
+
+    def sources(nodes: list[ast.expr | None]) -> tuple[str | None, ...]:
+        return tuple(None if n is None else ast.unparse(n) for n in nodes)
+
+    kw_defaults: list[ast.expr | None] = list(args.kw_defaults)
+    defaults: list[ast.expr | None] = list(args.defaults)
+    return {
+        "posonly": names(args.posonlyargs),
+        "args": names(args.args),
+        "kwonly": names(args.kwonlyargs),
+        "defaults": sources(defaults),
+        "kw_defaults": sources(kw_defaults),
+        "vararg": args.vararg.arg if args.vararg else None,
+        "kwarg": args.kwarg.arg if args.kwarg else None,
+        "returns": None if fn.returns is None else ast.unparse(fn.returns),
+    }
+
+
+_PART_LABEL = {
+    "posonly": "positional-only parameters",
+    "args": "positional parameters",
+    "kwonly": "keyword-only parameters",
+    "defaults": "positional defaults",
+    "kw_defaults": "keyword-only defaults",
+    "vararg": "*args",
+    "kwarg": "**kwargs",
+    "returns": "return annotation",
+}
+
+
+class BackendParity(Rule):
+    """Registry completeness + signature parity (see module docstring)."""
+
+    id = "backend-parity"
+    description = ("a backend's Backend(...) registry entry omits a "
+                   "contract field, or a shared kernel's signature drifts "
+                   "from the reference backend")
+    hint = ("backends must be drop-in interchangeable: mirror the "
+            "reference kernel signatures exactly and pass every Backend "
+            "field by keyword")
+    cross_file = True
+
+    def run_graph(self, graph: ModuleGraph) -> Iterable[Finding]:
+        for pkg in find_backend_packages(graph):
+            fields = _backend_fields(pkg.base)
+            for backend in pkg.backends:
+                yield from self._check_registry(backend, fields)
+            ref = pkg.reference
+            ref_stem = ref.name.rsplit(".", 1)[-1]
+            for backend in pkg.others():
+                yield from self._check_signatures(ref, ref_stem, backend)
+
+    def _check_registry(
+        self, backend: ModuleInfo, fields: list[str]
+    ) -> Iterable[Finding]:
+        for call in _backend_constructions(backend):
+            passed = {kw.arg for kw in call.keywords if kw.arg is not None}
+            has_star = any(kw.arg is None for kw in call.keywords)
+            n_positional = len(call.args)
+            for i, field in enumerate(fields):
+                if field in passed or i < n_positional:
+                    continue
+                if has_star:
+                    # ``Backend(**kwargs)``: statically unknowable; stand
+                    # down rather than guess.
+                    continue
+                yield self.finding(
+                    backend.ctx, call,
+                    f"Backend(...) registry entry missing kernel "
+                    f"{field!r}: the contract declares it and dataclass "
+                    "construction will fail — or silently rebind — at "
+                    "backend build time",
+                    hint=f"pass {field}=... explicitly (all fields by "
+                         "keyword)")
+            if not has_star:
+                for kw in call.keywords:
+                    if kw.arg is not None and kw.arg not in fields:
+                        yield self.finding(
+                            backend.ctx, kw.value,
+                            f"Backend(...) passes unknown field "
+                            f"{kw.arg!r}: not declared by the contract "
+                            "dataclass",
+                            hint="add the field to base.Backend or drop "
+                                 "the argument")
+
+    def _check_signatures(
+        self, ref: ModuleInfo, ref_stem: str, backend: ModuleInfo
+    ) -> Iterable[Finding]:
+        shared = sorted(set(ref.functions) & set(backend.functions))
+        for name in shared:
+            want = _signature(ref.functions[name])
+            have = _signature(backend.functions[name])
+            if want == have:
+                continue
+            drift = sorted(
+                part for part in want if want[part] != have[part])
+            for part in drift:
+                yield self.finding(
+                    backend.ctx, backend.functions[name],
+                    f"{name}() drifts from the reference backend "
+                    f"({ref_stem}) in {_PART_LABEL[part]}: "
+                    f"{have[part]!r} != {want[part]!r}",
+                    hint=("keyword call sites bind per-backend when "
+                          "names or order differ; mirror the reference "
+                          "signature exactly"))

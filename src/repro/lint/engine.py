@@ -37,8 +37,9 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.config import LintConfig
+    from repro.lint.contracts.modgraph import ModuleGraph
 
-__all__ = ["Finding", "Linter", "LintReport", "ModuleContext"]
+__all__ = ["Finding", "Linter", "LintReport", "ModuleContext", "Rule"]
 
 #: Schema version of the JSON report (bump on incompatible change).
 REPORT_VERSION = 1
@@ -75,6 +76,56 @@ class Finding:
         if self.hint:
             text += f"\n    hint: {self.hint}"
         return text
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``description``/``hint``.
+
+    A rule may implement either or both analysis scopes:
+
+    - ``run(ctx)`` — the per-file scope of the six PR-7 rules: one
+      :class:`ModuleContext`, findings about that module alone;
+    - ``run_graph(graph)`` — the cross-file scope of the contract rules:
+      one :class:`~repro.lint.contracts.modgraph.ModuleGraph` over every
+      linted file, findings anchored to whichever file exhibits the
+      contract violation.  Set ``cross_file = True`` so ``--list-rules``
+      can say which rules need the whole tree to be meaningful.
+
+    Both scopes share the suppression machinery: a graph finding on a
+    line is waived by the same ``# repro: disable=<rule-id>`` comment a
+    file finding would be, with identical unused-suppression accounting.
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str | None = None
+    #: False for meta rules (``unused-suppression``, ``parse-error``) the
+    #: engine emits itself; they appear in ``RULES`` for documentation and
+    #: config but have no analysis of their own.
+    checkable: bool = True
+    #: True when ``run_graph`` carries (part of) the analysis, i.e. the
+    #: rule reasons across modules and is only complete under
+    #: ``lint_paths`` over the full tree.
+    cross_file: bool = False
+
+    def run(self, ctx: "ModuleContext") -> Iterable["Finding"]:
+        """Per-file findings (default: none)."""
+        return ()
+
+    def run_graph(self, graph: "ModuleGraph") -> Iterable["Finding"]:
+        """Cross-file findings over the module graph (default: none)."""
+        return ()
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str,
+                hint: str | None = None) -> "Finding":
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint if hint is not None else self.hint,
+        )
 
 
 def _collect_aliases(tree: ast.Module) -> dict[str, str]:
@@ -273,25 +324,30 @@ class Linter:
         rel = os.path.relpath(os.path.abspath(path), self.root)
         return path if rel.startswith("..") else rel
 
-    def lint_file(self, path: str) -> list[Finding]:
-        enabled = self.rules_for(path)
+    def _parse(self, path: str) -> tuple[str, str, "ModuleContext | None",
+                                         Finding | None]:
+        """Read and parse one file: (display, source, ctx, parse finding)."""
         display = self._display_path(path)
         with open(path, encoding="utf-8") as f:
             source = f.read()
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            return [Finding("parse-error", display, exc.lineno or 1,
-                            exc.offset or 0,
-                            f"file does not parse: {exc.msg}")]
+            return display, source, None, Finding(
+                "parse-error", display, exc.lineno or 1, exc.offset or 0,
+                f"file does not parse: {exc.msg}")
+        return display, source, ModuleContext(display, tree, source), None
 
+    def _finalize(self, display: str, source: str,
+                  enabled: frozenset[str],
+                  raw: list[Finding]) -> list[Finding]:
+        """Apply per-line suppressions and unused-suppression accounting.
+
+        One shared pass for file-scope and graph-scope findings, so a
+        ``# repro: disable`` naming a cross-file rule is honoured — and
+        audited — exactly like one naming a per-file rule.
+        """
         from repro.lint.rules import RULES
-        ctx = ModuleContext(display, tree, source)
-        raw: list[Finding] = []
-        for rule_id in sorted(enabled):
-            rule = RULES.get(rule_id)
-            if rule is not None and rule.checkable:
-                raw.extend(rule.run(ctx))
 
         suppressions = parse_suppressions(source)
         kept: list[Finding] = []
@@ -324,10 +380,62 @@ class Linter:
 
         return sorted(kept, key=lambda f: (f.line, f.col, f.rule))
 
-    def lint_paths(self, paths: Iterable[str]) -> LintReport:
-        files = iter_python_files(paths)
-        findings: list[Finding] = []
+    def _lint(self, files: list[str]) -> LintReport:
+        """The full pipeline: parse all, file rules, graph rules, finalize.
+
+        Cross-file rules see a :class:`ModuleGraph` over every parseable
+        file in this invocation, so ``lint_paths`` over the tree gives
+        them the whole-repo view while ``lint_file`` degrades to a
+        single-module graph (enough for same-module contracts like fork
+        safety; the backend pair rules simply find no pair).
+        """
+        from repro.lint.contracts.modgraph import ModuleGraph
+        from repro.lint.rules import RULES
+
+        parsed: list[tuple[str, str, "ModuleContext | None",
+                           frozenset[str]]] = []
+        raw_by_file: dict[str, list[Finding]] = {}
         for path in files:
-            findings.extend(self.lint_file(path))
+            enabled = self.rules_for(path)
+            display, source, ctx, parse_finding = self._parse(path)
+            parsed.append((display, source, ctx, enabled))
+            raw = raw_by_file.setdefault(display, [])
+            if parse_finding is not None:
+                raw.append(parse_finding)
+                continue
+            assert ctx is not None
+            for rule_id in sorted(enabled):
+                rule = RULES.get(rule_id)
+                if rule is not None and rule.checkable:
+                    raw.extend(rule.run(ctx))
+
+        enabled_for = {display: enabled
+                       for display, _, _, enabled in parsed}
+        enabled_union: frozenset[str] = frozenset().union(
+            *enabled_for.values()) if enabled_for else frozenset()
+        graph = ModuleGraph(
+            [ctx for _, _, ctx, _ in parsed if ctx is not None])
+        for rule_id in sorted(enabled_union):
+            rule = RULES.get(rule_id)
+            if rule is None or not (rule.checkable and rule.cross_file):
+                continue
+            for finding in rule.run_graph(graph):
+                if rule_id in enabled_for.get(finding.path, frozenset()):
+                    raw_by_file.setdefault(finding.path, []).append(finding)
+
+        findings: list[Finding] = []
+        for display, source, ctx, enabled in parsed:
+            raw = raw_by_file.get(display, [])
+            if ctx is None:
+                findings.extend(raw)  # parse error: nothing to suppress
+            else:
+                findings.extend(
+                    self._finalize(display, source, enabled, raw))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return LintReport(findings=tuple(findings), n_files=len(files))
+
+    def lint_file(self, path: str) -> list[Finding]:
+        return list(self._lint([path]).findings)
+
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        return self._lint(iter_python_files(paths))

@@ -18,35 +18,9 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.lint.engine import Finding, ModuleContext
+from repro.lint.engine import Finding, ModuleContext, Rule
 
 __all__ = ["RULES", "Rule", "checkable_rule_ids"]
-
-
-class Rule:
-    """Base class: subclasses set ``id``/``description``/``hint``."""
-
-    id: str = ""
-    description: str = ""
-    hint: str | None = None
-    #: False for meta rules (``unused-suppression``, ``parse-error``) the
-    #: engine emits itself; they appear in ``RULES`` for documentation and
-    #: config but have no ``run``.
-    checkable: bool = True
-
-    def run(self, ctx: ModuleContext) -> Iterable[Finding]:
-        raise NotImplementedError
-
-    def finding(self, ctx: ModuleContext, node: ast.AST, message: str,
-                hint: str | None = None) -> Finding:
-        return Finding(
-            rule=self.id,
-            path=ctx.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            message=message,
-            hint=hint if hint is not None else self.hint,
-        )
 
 
 #: Wall-clock reads (aliased or not) that make output depend on run time.
@@ -385,6 +359,11 @@ class ParseError(Rule):
         return ()
 
 
+# The cross-module contract rules live in their own subpackage (they need
+# the ModuleGraph infrastructure); imported here, at the bottom, so they
+# can subclass the same Rule base without a cycle.
+from repro.lint.contracts import CONTRACT_RULES  # noqa: E402
+
 RULES: dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -394,6 +373,7 @@ RULES: dict[str, Rule] = {
         RngStreamDiscipline(),
         CanonicalSerialization(),
         NoFloatEnvDrift(),
+        *CONTRACT_RULES,
         UnusedSuppression(),
         ParseError(),
     )
@@ -401,5 +381,5 @@ RULES: dict[str, Rule] = {
 
 
 def checkable_rule_ids() -> frozenset[str]:
-    """The six substantive rules (excludes the engine's meta rules)."""
+    """The substantive rules (excludes the engine's meta rules)."""
     return frozenset(r.id for r in RULES.values() if r.checkable)

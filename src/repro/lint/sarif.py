@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+CI uploads this via ``github/codeql-action/upload-sarif`` so findings
+surface as code-scanning annotations on the PR diff, at the exact
+file:line the engine anchored them to.  The JSON report (``--json`` /
+``--output``) remains the stable machine-readable artifact; SARIF is a
+second projection of the same findings, never a replacement.
+
+Only the fields code scanning consumes are emitted: rule metadata
+(id, short description, help text from the rule's hint), and one
+``result`` per finding with a ``physicalLocation`` region.  Columns are
+converted from the engine's 0-based ``col`` to SARIF's 1-based
+``startColumn``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding, LintReport
+
+__all__ = ["sarif_report"]
+
+#: SARIF schema pinned by the GitHub code-scanning ingester.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_entry(rule_id: str) -> dict:
+    from repro.lint.rules import RULES
+
+    rule = RULES.get(rule_id)
+    entry: dict = {"id": rule_id}
+    if rule is not None and rule.description:
+        entry["shortDescription"] = {"text": rule.description}
+    if rule is not None and rule.hint:
+        entry["help"] = {"text": rule.hint}
+    return entry
+
+
+def _result(finding: Finding) -> dict:
+    message = finding.message
+    if finding.hint:
+        message += f" (hint: {finding.hint})"
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def sarif_report(report: LintReport) -> dict:
+    """The full SARIF document for one lint invocation."""
+    rule_ids = sorted({f.rule for f in report.findings})
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": [_rule_entry(r) for r in rule_ids],
+                },
+            },
+            "results": [_result(f) for f in report.findings],
+        }],
+    }

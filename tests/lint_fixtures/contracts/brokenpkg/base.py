@@ -1,0 +1,16 @@
+"""Contract half of the deliberately-broken fixture package (itself clean)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class Backend:
+    """The contract: every field is a required kernel slot."""
+
+    name: str
+    hash_fns: Mapping[str, Callable]
+    branch_costs: Callable
+    select_beams: Callable

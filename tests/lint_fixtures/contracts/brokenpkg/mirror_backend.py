@@ -1,0 +1,46 @@
+"""Deliberately broken mirror backend: every contract rule fires here.
+
+tests/test_lint_contracts.py pins the exact line of each seeded bug;
+keep edits line-stable or update the expectations there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Backend
+
+try:
+    from numba import njit
+except ImportError:
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+@njit(cache=True)
+def _hash_word(state: np.uint32, data: np.uint32):
+    mixed = state - data          # seeded PR-9 underflow bug: no mask
+    scaled = mixed * 0.5          # seeded bare-float promotion
+    return scaled
+
+
+def branch_costs(slots, states, values, *, levels=2, c=6):
+    acc = np.zeros(states.shape[0], dtype=np.float32)
+    csi = values.astype(np.complex128)
+    acc += np.abs(csi * csi).astype(np.float32)
+    return acc
+
+
+def select_beams(costs, beam_width):
+    order = np.argsort(costs, kind="stable")
+    return order[:beam_width].astype(np.intp)
+
+
+def make_backend():
+    return Backend(
+        name="mirror",
+        hash_fns={"mix": _hash_word},
+        branch_costs=branch_costs,
+    )

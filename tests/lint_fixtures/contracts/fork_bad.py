@@ -1,0 +1,21 @@
+"""Fork-unsafe fixture: a pool worker rebinds a module global unguarded.
+
+tests/test_lint_contracts.py pins the exact line of the seeded mutation.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import Pool
+
+_COUNTER = 0
+
+
+def _work(job):
+    global _COUNTER
+    _COUNTER = _COUNTER + 1   # seeded: unguarded worker-side rebind
+    return job * 2
+
+
+def run_all(jobs):
+    with Pool(2) as pool:
+        return list(pool.map(_work, jobs))

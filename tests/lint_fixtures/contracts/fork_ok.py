@@ -1,0 +1,24 @@
+"""Fork-safe fixture: the guarded-memo fence makes the rebind idempotent."""
+
+from __future__ import annotations
+
+from multiprocessing import Pool
+
+_TABLE = None
+
+
+def _ensure_table():
+    global _TABLE
+    if _TABLE is None:
+        _TABLE = {i: i * i for i in range(16)}
+    return _TABLE
+
+
+def _work(job):
+    table = _ensure_table()
+    return table.get(job, job)
+
+
+def run_all(jobs):
+    with Pool(2) as pool:
+        return list(pool.imap(_work, jobs))

@@ -1,0 +1,54 @@
+"""Clean compiled backend: every sanctioned kernel idiom, zero findings.
+
+Uses the numba-absent ``njit`` shim on purpose: the dtype-flow rule must
+resolve ``@njit`` identity through the fallback identity decorator
+exactly as it does through the real ``numba.njit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Backend
+
+try:
+    from numba import njit
+except ImportError:
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+_M32 = np.uint64(0xFFFFFFFF)
+_TWO32 = np.uint64(0x100000000)
+
+
+@njit(cache=True)
+def _hash_word(state: np.uint64, data: np.uint64):
+    mixed = (state ^ data) * np.uint64(0x9E3779B97F4A7C15)
+    # sanctioned subtraction rewrite: constant on the left, masked result
+    wrapped = (mixed + (_TWO32 - data)) & _M32
+    # mask-construction idiom: (1 << c) - 1 is nonnegative by construction
+    cmask = (np.uint64(1) << np.uint64(6)) - np.uint64(1)
+    return wrapped & cmask
+
+
+def branch_costs(states, slots, values, *, levels=2, c=6):
+    out = np.zeros(states.shape[0], dtype=np.float64)
+    out += values.astype(np.float64)
+    return out
+
+
+def select_beams(costs, beam_width):
+    order = np.argsort(costs, kind="stable")
+    return order[:beam_width].astype(np.intp)
+
+
+def make_backend():
+    return Backend(
+        name="alt",
+        hash_fns={"mix": _hash_word},
+        branch_costs=branch_costs,
+        select_beams=select_beams,
+    )

@@ -1,0 +1,32 @@
+"""Reference backend of the clean fixture package: no rule may fire."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Backend
+
+
+def _hash_word(state, data):
+    mixed = (state ^ data) * np.uint64(0x9E3779B97F4A7C15)
+    return mixed & np.uint64(0xFFFFFFFF)
+
+
+def branch_costs(states, slots, values, *, levels=2, c=6):
+    out = np.zeros(states.shape[0], dtype=np.float64)
+    out += values.astype(np.float64)
+    return out
+
+
+def select_beams(costs, beam_width):
+    order = np.argsort(costs, kind="stable")
+    return order[:beam_width].astype(np.intp)
+
+
+def make_backend():
+    return Backend(
+        name="numpy",
+        hash_fns={"mix": _hash_word},
+        branch_costs=branch_costs,
+        select_beams=select_beams,
+    )
